@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper. The
+experiment scale defaults to ``tiny`` (seconds per benchmark) and can
+be raised with the ``REPRO_BENCH_SCALE`` environment variable
+(``tiny`` / ``small`` / ``paper``).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark prints the regenerated rows/series (compare them with
+EXPERIMENTS.md) and asserts the qualitative *shape* of the paper's
+result — who wins, in which direction — not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale() -> str:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "tiny")
+    if scale not in {"tiny", "small", "paper"}:
+        raise ValueError(f"bad REPRO_BENCH_SCALE {scale!r}")
+    return scale
+
+
+@pytest.fixture
+def scale() -> str:
+    return bench_scale()
+
+
+def print_series(title: str, series, fmt: str = "{:.3f}") -> None:
+    """Print a labeled numeric series on one line."""
+    values = " ".join(fmt.format(v) for v in series)
+    print(f"{title}: {values}")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    Experiments are too slow for statistical repetition; one timed
+    round still records wall-clock in the benchmark table.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

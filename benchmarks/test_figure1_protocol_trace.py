@@ -1,0 +1,96 @@
+"""Figure 1 — protocol behavior trace (GL vs SAMO).
+
+Reconstructs the exact scenario of Figure 1: node x with incoming
+neighbors y1..y3 and outgoing neighbors z1..z3, and checks the event
+sequences the figure illustrates:
+
+* Base GL: every reception triggers an immediate merge + local update
+  (steps 1-4); a wake-up sends to exactly ONE neighbor (step 5).
+* SAMO: receptions are buffered (steps 1-3); the wake-up performs one
+  merge + one update (step 4) and sends to ALL neighbors (step 5).
+"""
+
+import numpy as np
+
+from repro.data import make_node_splits, make_synthetic_tabular_dataset
+from repro.gossip import (
+    BaseGossipProtocol,
+    GossipNode,
+    LocalTrainer,
+    SAMOProtocol,
+    TrainerConfig,
+)
+from repro.nn import build_mlp, get_state
+
+from benchmarks.conftest import run_once
+
+
+def build_node():
+    model = build_mlp(16, 4, hidden=(8,), rng=np.random.default_rng(0))
+    trainer = LocalTrainer(
+        model,
+        TrainerConfig(learning_rate=0.05, momentum=0.0, local_epochs=1, batch_size=8),
+    )
+    train, _ = make_synthetic_tabular_dataset(
+        "t", 120, 20, num_features=16, num_classes=4, seed=0
+    )
+    split = make_node_splits(train, 3, train_per_node=16, test_per_node=8, seed=0)[0]
+    init = get_state(model)
+    node = GossipNode(
+        node_id=0,
+        state={k: v.copy() for k, v in init.items()},
+        split=split,
+        rng=np.random.default_rng(7),
+    )
+    return node, trainer, init
+
+
+def trace_protocol(protocol_cls):
+    node, trainer, init = build_node()
+    protocol = protocol_cls(trainer)
+    events = []
+
+    def send(sender, receiver, payload):
+        events.append(("send", receiver))
+
+    # Steps 1-3: three models arrive from y1, y2, y3.
+    for shift in (1.0, 2.0, 3.0):
+        incoming = {k: v + shift for k, v in init.items()}
+        updates_before = node.updates_performed
+        protocol.on_receive(node, incoming)
+        if node.updates_performed > updates_before:
+            events.append(("merge_and_update", None))
+        else:
+            events.append(("buffered", None))
+    # Steps 4-5: node x wakes up with z1, z2, z3 in its view.
+    updates_before = node.updates_performed
+    protocol.on_wake(node, view={1, 2, 3}, send=send)
+    if node.updates_performed > updates_before:
+        events.insert(
+            len(events) - sum(1 for e in events if e[0] == "send"),
+            ("merge_and_update", None),
+        )
+    return events, node
+
+
+def test_figure1_protocol_traces(benchmark):
+    def run():
+        return trace_protocol(BaseGossipProtocol), trace_protocol(SAMOProtocol)
+
+    (gl_events, gl_node), (samo_events, samo_node) = run_once(benchmark, run)
+
+    print("\nBase GL event trace :", [e[0] for e in gl_events])
+    print("SAMO event trace    :", [e[0] for e in samo_events])
+
+    # Base GL: merge+update on EVERY reception, single send on wake.
+    gl_kinds = [e[0] for e in gl_events]
+    assert gl_kinds.count("merge_and_update") == 3
+    assert gl_kinds.count("send") == 1
+    assert gl_node.updates_performed == 3
+
+    # SAMO: buffer on every reception, ONE merge+update, send to all 3.
+    samo_kinds = [e[0] for e in samo_events]
+    assert samo_kinds.count("buffered") == 3
+    assert samo_kinds.count("merge_and_update") == 1
+    assert samo_kinds.count("send") == 3
+    assert samo_node.updates_performed == 1

@@ -1,0 +1,40 @@
+"""Figure 3 (RQ2) — static vs dynamic topology on a 2-regular graph.
+
+Paper shape: in all datasets, dynamic topologies achieve a better
+trade-off — lower MIA vulnerability at comparable (or better) test
+accuracy.
+"""
+
+import numpy as np
+
+from repro.experiments import figures
+
+from benchmarks.conftest import print_series, run_once
+
+
+def test_figure3_static_vs_dynamic(benchmark, scale):
+    out = run_once(benchmark, figures.figure3, scale=scale)
+
+    final_mia = {"static": [], "dynamic": []}
+    max_test = {"static": [], "dynamic": []}
+    print()
+    for dataset, settings in out["datasets"].items():
+        for setting, series in settings.items():
+            print_series(
+                f"fig3 {dataset:<14} {setting:<8} test_acc", series["test_accuracy"]
+            )
+            print_series(
+                f"fig3 {dataset:<14} {setting:<8} mia_acc ", series["mia_accuracy"]
+            )
+            final_mia[setting].append(series["mia_accuracy"][-1])
+            max_test[setting].append(series["test_accuracy"].max())
+
+    mean_mia = {s: float(np.mean(v)) for s, v in final_mia.items()}
+    mean_test = {s: float(np.mean(v)) for s, v in max_test.items()}
+    print(f"mean final MIA: {mean_mia}")
+    print(f"mean max test accuracy: {mean_test}")
+
+    # Shape: dynamic lowers MIA vulnerability on the sparse graph
+    # without sacrificing utility.
+    assert mean_mia["dynamic"] <= mean_mia["static"] + 0.01
+    assert mean_test["dynamic"] >= mean_test["static"] - 0.03

@@ -1,0 +1,57 @@
+"""Figure 5 (RQ4) — view-size sweep on CIFAR-10-like data, SAMO.
+
+Paper shape: increasing the view size improves the privacy/utility
+trade-off for both settings; the static/dynamic gap narrows as k grows
+(the graph approaches complete); communication cost grows with k.
+"""
+
+import numpy as np
+
+from repro.experiments import figures
+
+from benchmarks.conftest import run_once
+
+
+def test_figure5_view_size_sweep(benchmark, scale):
+    out = run_once(benchmark, figures.figure5, scale=scale)
+
+    print(f"\nfig5 dataset={out['dataset']} view sizes={out['view_sizes']}")
+    header = (
+        f"{'setting':<8} {'k':>3} {'max_mia':>8} {'max_tpr':>8} "
+        f"{'max_test':>9} {'models/node':>12}"
+    )
+    print(header)
+    for setting, rows in out["settings"].items():
+        for row in rows:
+            print(
+                f"{setting:<8} {row['view_size']:>3} "
+                f"{row['max_mia_accuracy']:>8.3f} "
+                f"{row['max_mia_tpr_at_1_fpr']:>8.3f} "
+                f"{row['max_test_accuracy']:>9.3f} "
+                f"{row['models_sent_per_node']:>12.1f}"
+            )
+
+    static = out["settings"]["static"]
+    dynamic = out["settings"]["dynamic"]
+
+    # Shape 1: cost grows strictly with view size (SAMO sends to all).
+    for rows in (static, dynamic):
+        costs = [r["models_sent_per_node"] for r in rows]
+        assert all(b > a for a, b in zip(costs, costs[1:]))
+
+    # Shape 2: the static/dynamic MIA gap shrinks as k grows.
+    gap_smallest_k = abs(
+        static[0]["max_mia_accuracy"] - dynamic[0]["max_mia_accuracy"]
+    )
+    gap_largest_k = abs(
+        static[-1]["max_mia_accuracy"] - dynamic[-1]["max_mia_accuracy"]
+    )
+    print(f"MIA gap at k={static[0]['view_size']}: {gap_smallest_k:.3f}; "
+          f"at k={static[-1]['view_size']}: {gap_largest_k:.3f}")
+    assert gap_largest_k <= gap_smallest_k + 0.05
+
+    # Shape 3: denser graphs do not increase vulnerability for the
+    # static setting (more mixing helps).
+    assert (
+        static[-1]["max_mia_accuracy"] <= static[0]["max_mia_accuracy"] + 0.05
+    )

@@ -1,0 +1,45 @@
+"""Figure 7 (RQ6) — MIA vulnerability vs generalization error.
+
+Paper shape: MIA vulnerability broadly grows with generalization
+error, but the relationship is dataset-specific and NOT one-to-one:
+the same generalization error can exhibit different MIA regimes.
+"""
+
+import numpy as np
+
+from repro.experiments import figures
+
+from benchmarks.conftest import run_once
+
+
+def test_figure7_generalization_vs_mia(benchmark, scale):
+    out = run_once(benchmark, figures.figure7, scale=scale)
+
+    print()
+    gens, mias = [], []
+    for dataset, settings in out["datasets"].items():
+        for setting, entry in settings.items():
+            ge = entry["generalization_error"]
+            mia = entry["mia_accuracy"]
+            print(
+                f"fig7 {dataset:<14} {setting:<8} "
+                f"gen_err [{ge.min():.3f}, {ge.max():.3f}] "
+                f"mia [{mia.min():.3f}, {mia.max():.3f}]"
+            )
+            gens.append(ge)
+            mias.append(mia)
+
+    all_gen = np.concatenate(gens)
+    all_mia = np.concatenate(mias)
+    # Shape: positive association between generalization error and MIA
+    # across the pooled scatter (Spearman-like sign check via
+    # correlation of ranks).
+    if all_gen.std() > 1e-9 and all_mia.std() > 1e-9:
+        rank_corr = np.corrcoef(
+            np.argsort(np.argsort(all_gen)), np.argsort(np.argsort(all_mia))
+        )[0, 1]
+        print(f"pooled rank correlation: {rank_corr:.3f}")
+        assert rank_corr > 0.0
+
+    # All MIA values beat-or-match random guessing (balanced attack set).
+    assert np.all(all_mia >= 0.5 - 1e-9)

@@ -1,0 +1,41 @@
+"""Figure 8 (RQ6) — MIA accuracy and generalization error over rounds.
+
+Paper shape: generalization error peaks early then declines, while the
+MIA vulnerability acquired early persists — leakage introduced in an
+earlier round is not mitigated by later generalization improvements.
+"""
+
+import numpy as np
+
+from repro.experiments import figures
+
+from benchmarks.conftest import print_series, run_once
+
+
+def test_figure8_rounds_series(benchmark, scale):
+    out = run_once(benchmark, figures.figure8, scale=scale)
+
+    print()
+    for setting, entry in out["settings"].items():
+        print_series(f"fig8 {setting:<8} mia_acc ", entry["mia_accuracy"])
+        print_series(f"fig8 {setting:<8} gen_err ", entry["generalization_error"])
+
+    for setting, entry in out["settings"].items():
+        mia = entry["mia_accuracy"]
+        # Shape 1: vulnerability emerges and persists — the final MIA
+        # stays above the starting level.
+        assert mia[-1] >= mia[0] - 0.05
+        # Shape 2: MIA beats random guessing by the end.
+        assert mia[-1] > 0.5
+
+    # Shape 3: once generalization error has peaked, MIA does not fall
+    # proportionally (persistence of early leakage): the relative drop
+    # in MIA from its peak is smaller than the relative drop in
+    # gen-error from its peak.
+    entry = out["settings"]["static"]
+    ge, mia = entry["generalization_error"], entry["mia_accuracy"]
+    if len(ge) >= 3 and ge.max() > 0:
+        ge_drop = (ge.max() - ge[-1]) / ge.max()
+        mia_drop = (mia.max() - mia[-1]) / mia.max()
+        print(f"relative drops from peak: gen={ge_drop:.3f} mia={mia_drop:.3f}")
+        assert mia_drop <= ge_drop + 0.05

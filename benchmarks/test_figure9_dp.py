@@ -1,0 +1,62 @@
+"""Figure 9 (RQ7) — DP-SGD budgets x topology on Purchase100, SAMO.
+
+Paper shape: applying DP-SGD lowers both utility and MIA efficiency,
+more strongly for stricter budgets (smaller epsilon); the dynamic
+setting keeps a better utility/vulnerability trade-off at every
+budget.
+"""
+
+import numpy as np
+
+from repro.experiments import figures
+
+from benchmarks.conftest import run_once
+
+
+def test_figure9_dp_budgets(benchmark, scale):
+    epsilons = (50.0, 10.0, None)
+    out = run_once(benchmark, figures.figure9, scale=scale, epsilons=epsilons)
+
+    print(f"\nfig9 dataset={out['dataset']}")
+    print(f"{'epsilon':>8} {'setting':<8} {'max_mia':>8} {'max_tpr':>8} "
+          f"{'max_test':>9} {'sigma':>7}")
+    by_key = {}
+    for row in out["rows"]:
+        eps_label = "non-dp" if row["epsilon"] is None else f"{row['epsilon']:g}"
+        print(
+            f"{eps_label:>8} {row['setting']:<8} {row['max_mia_accuracy']:>8.3f} "
+            f"{row['max_mia_tpr_at_1_fpr']:>8.3f} {row['max_test_accuracy']:>9.3f} "
+            f"{row['noise_multiplier']:>7.3f}"
+        )
+        by_key[(row["epsilon"], row["setting"])] = row
+
+    # Shape 1: DP reduces MIA vulnerability vs non-DP (mean over
+    # settings), and stricter budgets add more noise.
+    def mean_metric(eps, metric):
+        return float(
+            np.mean([by_key[(eps, s)][metric] for s in ("static", "dynamic")])
+        )
+
+    assert mean_metric(10.0, "max_mia_accuracy") <= (
+        mean_metric(None, "max_mia_accuracy") + 0.02
+    )
+    assert (
+        by_key[(10.0, "static")]["noise_multiplier"]
+        > by_key[(50.0, "static")]["noise_multiplier"]
+    )
+
+    # Shape 2: DP costs utility relative to non-DP.
+    assert mean_metric(10.0, "max_test_accuracy") <= (
+        mean_metric(None, "max_test_accuracy") + 0.02
+    )
+
+    # Shape 3: at a fixed budget, dynamic attains a trade-off at least
+    # as good as static (not strictly worse on both axes).
+    for eps in epsilons:
+        dyn = by_key[(eps, "dynamic")]
+        stat = by_key[(eps, "static")]
+        strictly_worse = (
+            dyn["max_test_accuracy"] < stat["max_test_accuracy"] - 0.05
+            and dyn["max_mia_accuracy"] > stat["max_mia_accuracy"] + 0.05
+        )
+        assert not strictly_worse

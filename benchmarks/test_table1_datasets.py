@@ -1,0 +1,32 @@
+"""Table 1 — dataset characteristics.
+
+Prints the paper's Table 1 and the executable reduced-scale
+counterpart (instantiated datasets and models with actual shapes and
+parameter counts).
+"""
+
+from repro.experiments.tables import render_rows, table1, verify_table1_shapes
+
+from benchmarks.conftest import run_once
+
+
+def test_table1_dataset_characteristics(benchmark):
+    rows = run_once(benchmark, verify_table1_shapes, image_size=8, num_features=64)
+
+    print("\nTable 1 (paper-scale declared characteristics):")
+    print(render_rows(table1()))
+    print("\nTable 1 (instantiated at reduced scale):")
+    print(render_rows(rows))
+
+    by_name = {r["dataset"]: r for r in rows}
+    # Class counts and channel layout must match the paper exactly.
+    assert by_name["cifar10"]["classes"] == 10
+    assert by_name["cifar100"]["classes"] == 100
+    assert by_name["fashion_mnist"]["classes"] == 10
+    assert by_name["purchase100"]["classes"] == 100
+    assert by_name["cifar10"]["input_shape"][0] == 3
+    assert by_name["fashion_mnist"]["input_shape"][0] == 1
+    assert len(by_name["purchase100"]["input_shape"]) == 1  # tabular
+    # Model pairing per Table 1.
+    assert by_name["cifar100"]["model"] == "resnet8"
+    assert by_name["purchase100"]["model"] == "mlp"

@@ -1,0 +1,41 @@
+"""Table 2 — training configuration.
+
+Verifies the configuration registry reproduces every Table 2 row and
+that the paper-scale models hit the quoted parameter counts.
+"""
+
+from repro.experiments.configs import paper_table2_config, table2_rows
+from repro.experiments.tables import render_rows
+from repro.nn import build_cnn, build_mlp, build_resnet8, num_parameters
+
+from benchmarks.conftest import run_once
+
+
+def test_table2_training_configuration(benchmark):
+    rows = run_once(benchmark, table2_rows)
+    print("\nTable 2 (training configuration):")
+    print(render_rows(rows))
+
+    by_name = {r["dataset"]: r for r in rows}
+    assert by_name["cifar10"] == {
+        "dataset": "cifar10", "model": "CNN", "parameters": "124k",
+        "learning_rate": 0.01, "momentum": 0.0, "weight_decay": 5e-4,
+        "local_epochs": 3, "rounds": 250,
+    }
+    assert by_name["cifar100"]["learning_rate"] == 0.001
+    assert by_name["purchase100"]["local_epochs"] == 10
+
+    # Parameter counts at paper scale (order-of-magnitude match).
+    cnn = num_parameters(build_cnn(3, 32, 10, width=16))
+    resnet = num_parameters(build_resnet8(3, 100, width=64))
+    mlp = num_parameters(build_mlp(600, 100, hidden=(1024, 512, 256)))
+    print(f"\nInstantiated parameter counts: CNN={cnn:,} "
+          f"ResNet-8={resnet:,} MLP={mlp:,}")
+    assert 0.5 * 124_000 < cnn < 2 * 124_000
+    assert 0.5 * 1_200_000 < resnet < 2 * 1_200_000
+    assert 0.5 * 1_300_000 < mlp < 2 * 1_300_000
+
+    # Paper-scale configs wire the rows into StudyConfigs.
+    cfg = paper_table2_config("cifar100")
+    assert cfg.n_nodes == 60
+    assert cfg.rounds == 500

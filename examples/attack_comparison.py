@@ -1,0 +1,78 @@
+"""Compare membership-inference estimators on the same victim models.
+
+Trains a gossip network to overfitting, then attacks every node's
+final model with four threshold attacks — Modified Prediction Entropy
+(the paper's choice), plain prediction entropy, prediction confidence,
+and per-sample loss — showing why the label-aware MPE estimator is an
+informative worst-case privacy probe (Section 2.5).
+
+Run:  python examples/attack_comparison.py
+"""
+
+import numpy as np
+
+from repro.core import StudyConfig, VulnerabilityStudy
+from repro.metrics.evaluation import predict_proba
+from repro.nn.serialize import set_state
+from repro.privacy import ATTACKS, run_attack
+
+
+def main() -> None:
+    study = VulnerabilityStudy(
+        StudyConfig(
+            name="attack-comparison",
+            dataset="purchase100",
+            n_train=1_000,
+            n_test=250,
+            num_features=128,
+            n_nodes=8,
+            view_size=2,
+            protocol="samo",
+            rounds=6,
+            train_per_node=40,
+            test_per_node=20,
+            mlp_hidden=(64, 32),
+            local_epochs=3,
+            batch_size=16,
+            seed=0,
+        )
+    )
+    result = study.run()
+    print(
+        f"trained {study.config.n_nodes} nodes for "
+        f"{study.config.rounds} rounds; final generalization error "
+        f"{result.rounds[-1].generalization_error:.3f}\n"
+    )
+
+    rng = np.random.default_rng(0)
+    rows = {name: {"acc": [], "tpr": [], "auc": []} for name in ATTACKS}
+    for node in study.simulator.nodes:
+        set_state(study.model, node.state)
+        member_probs = predict_proba(study.model, node.train_x)
+        nonmember_probs = predict_proba(study.model, node.test_x)
+        for name in ATTACKS:
+            report = run_attack(
+                name, member_probs, node.train_y,
+                nonmember_probs, node.test_y, rng=rng,
+            )
+            rows[name]["acc"].append(report.accuracy)
+            rows[name]["tpr"].append(report.tpr_at_1_fpr)
+            rows[name]["auc"].append(report.auc)
+
+    print(f"{'attack':<12} {'accuracy':>9} {'tpr@1%':>8} {'auc':>7}")
+    for name, vals in sorted(rows.items(), key=lambda kv: -np.mean(kv[1]["acc"])):
+        print(
+            f"{name:<12} {np.mean(vals['acc']):>9.3f} "
+            f"{np.mean(vals['tpr']):>8.3f} {np.mean(vals['auc']):>7.3f}"
+        )
+
+    print(
+        "\nThe label-aware attacks (mpe / confidence / loss) clearly "
+        "dominate plain entropy: a confidently WRONG prediction looks "
+        "like a member to entropy but not to MPE. The paper uses MPE "
+        "as its worst-case-yet-cheap privacy probe."
+    )
+
+
+if __name__ == "__main__":
+    main()

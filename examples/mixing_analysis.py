@@ -1,0 +1,49 @@
+"""Section 4 — spectral mixing analysis (paper Figure 10).
+
+Computes lambda2 of the running mixing-matrix product W(T)...W(1) for
+static and dynamic k-regular graphs at the paper's full scale (n=150)
+and prints the decay curves, plus a consensus simulation confirming
+that the spectral prediction translates into actual value mixing.
+
+Run:  python examples/mixing_analysis.py
+"""
+
+import numpy as np
+
+from repro.graph import simulate_consensus, simulate_lambda2_decay
+
+
+def main() -> None:
+    n, iterations, runs = 150, 60, 10
+    print(f"lambda2(W*) after {iterations} iterations, n={n}, {runs} runs\n")
+    print(f"{'k':>3} {'static':>12} {'dynamic':>12} {'speedup':>12}")
+    rng = np.random.default_rng(0)
+    for k in (2, 5, 10, 25):
+        static = simulate_lambda2_decay(
+            n, k, iterations, dynamic=False, runs=runs, rng=rng
+        )
+        dynamic = simulate_lambda2_decay(
+            n, k, iterations, dynamic=True, runs=runs, rng=rng
+        )
+        s, d = static.mean[-1], dynamic.mean[-1]
+        speedup = s / max(d, 1e-300)
+        print(f"{k:>3} {s:>12.3e} {d:>12.3e} {speedup:>12.1e}")
+
+    print("\nConsensus distance over 40 iterations (k=2):")
+    static_dist = simulate_consensus(n, 2, 40, dynamic=False, rng=rng)
+    dynamic_dist = simulate_consensus(n, 2, 40, dynamic=True, rng=rng)
+    for t in (0, 9, 19, 39):
+        print(
+            f"  iter {t + 1:>3}: static={static_dist[t]:.3e} "
+            f"dynamic={dynamic_dist[t]:.3e}"
+        )
+
+    print(
+        "\nDynamic graphs mix orders of magnitude faster at the same "
+        "degree — models align with the consensus and leak less about "
+        "any individual node's data (Section 4 of the paper)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Quickstart: run a gossip-learning MIA study in ~10 seconds.
+
+Trains a small MLP collaboratively over a 2-regular gossip graph of 8
+nodes on Purchase100-like synthetic data, while an omniscient observer
+runs the Modified Prediction Entropy attack against every node's model
+each round.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import StudyConfig, run_study
+
+
+def main() -> None:
+    config = StudyConfig(
+        name="quickstart",
+        dataset="purchase100",
+        n_train=1_000,
+        n_test=250,
+        num_features=128,
+        n_nodes=8,
+        view_size=2,
+        dynamic=False,          # flip to True for a PeerSwap topology
+        protocol="samo",        # or "base_gossip"
+        rounds=6,
+        train_per_node=48,
+        test_per_node=24,
+        mlp_hidden=(64, 32),
+        local_epochs=2,
+        batch_size=16,
+        seed=0,
+    )
+    result = run_study(config)
+
+    print(f"{'round':>5} {'test_acc':>9} {'mia_acc':>8} {'tpr@1%':>7} "
+          f"{'gen_err':>8} {'messages':>9}")
+    for r in result.rounds:
+        print(
+            f"{r.round_index:>5} {r.global_test_accuracy:>9.3f} "
+            f"{r.mia_accuracy:>8.3f} {r.mia_tpr_at_1_fpr:>7.3f} "
+            f"{r.generalization_error:>8.3f} {r.messages_sent:>9}"
+        )
+    print(
+        f"\nsummary: max test accuracy {result.max_test_accuracy:.3f}, "
+        f"max MIA accuracy {result.max_mia_accuracy:.3f} "
+        f"(0.5 = random guessing)"
+    )
+    print("Watch the MIA accuracy climb as node models overfit their "
+          "local shards — the paper's core vulnerability.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""repro — reproduction of "Exposing the Vulnerability of Decentralized
+Learning to Membership Inference Attacks Through the Lens of Graph
+Mixing" (Touat et al., MIDDLEWARE 2025).
+
+Public entry points:
+
+* :func:`repro.core.run_study` / :class:`repro.core.StudyConfig` —
+  run a full gossip-learning + MIA study.
+* :mod:`repro.graph.mixing` — the Section 4 spectral analysis.
+* :mod:`repro.experiments` — per-figure/table regeneration.
+"""
+
+from repro.core import StudyConfig, VulnerabilityStudy, run_study
+
+__version__ = "1.0.0"
+
+__all__ = ["StudyConfig", "VulnerabilityStudy", "run_study", "__version__"]

@@ -1,0 +1,193 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    python -m repro.cli study --dataset purchase100 --protocol samo \
+        --nodes 8 --rounds 5 --dynamic --out run.json
+    python -m repro.cli figure --id 3 --scale tiny
+    python -m repro.cli tables
+
+``study`` runs one configured experiment and optionally writes
+JSON/CSV; ``figure`` regenerates one paper figure's data series;
+``tables`` prints Tables 1 and 2.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _add_study_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("study", help="run one gossip-learning MIA study")
+    p.add_argument("--dataset", default="purchase100",
+                   choices=["cifar10", "cifar100", "fashion_mnist", "purchase100"])
+    p.add_argument("--scale", default="tiny", choices=["tiny", "small", "paper"])
+    p.add_argument("--protocol", default="samo",
+                   choices=["samo", "base_gossip", "base_gossip_partial"])
+    p.add_argument("--sampler", default=None,
+                   choices=["static", "peerswap", "fresh"])
+    p.add_argument("--dynamic", action="store_true")
+    p.add_argument("--nodes", type=int, default=None)
+    p.add_argument("--view-size", type=int, default=None)
+    p.add_argument("--rounds", type=int, default=None)
+    p.add_argument("--beta", type=float, default=None,
+                   help="Dirichlet concentration for non-iid splits")
+    p.add_argument("--dp-epsilon", type=float, default=None)
+    p.add_argument("--canaries", type=int, default=0)
+    p.add_argument("--drop-prob", type=float, default=0.0)
+    p.add_argument("--failure-prob", type=float, default=0.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None, help="write RunResult JSON here")
+    p.add_argument("--csv", default=None, help="write per-round CSV here")
+
+
+def _run_study(args: argparse.Namespace) -> int:
+    from repro.experiments import result_to_csv, save_result, scaled_config
+    from repro.experiments.runner import run_experiment
+
+    overrides: dict = {
+        "protocol": args.protocol,
+        "dynamic": args.dynamic,
+        "beta": args.beta,
+        "dp_epsilon": args.dp_epsilon,
+        "n_canaries": args.canaries,
+        "drop_prob": args.drop_prob,
+        "failure_prob": args.failure_prob,
+        "seed": args.seed,
+        "name": f"cli-{args.dataset}",
+    }
+    if args.sampler is not None:
+        overrides["sampler"] = args.sampler
+    if args.nodes is not None:
+        overrides["n_nodes"] = args.nodes
+    if args.view_size is not None:
+        overrides["view_size"] = args.view_size
+    if args.rounds is not None:
+        overrides["rounds"] = args.rounds
+    config = scaled_config(args.dataset, args.scale, **overrides)
+    result = run_experiment(config)
+
+    print(f"{'round':>5} {'test_acc':>9} {'mia_acc':>8} {'tpr@1%':>7} "
+          f"{'gen_err':>8}")
+    for r in result.rounds:
+        print(
+            f"{r.round_index:>5} {r.global_test_accuracy:>9.3f} "
+            f"{r.mia_accuracy:>8.3f} {r.mia_tpr_at_1_fpr:>7.3f} "
+            f"{r.generalization_error:>8.3f}"
+        )
+    if args.out:
+        print(f"wrote {save_result(result, args.out)}")
+    if args.csv:
+        print(f"wrote {result_to_csv(result, args.csv)}")
+    return 0
+
+
+def _collect_series(obj, prefix="", out=None, key="mia_accuracy"):
+    """Find every array named ``key`` in a nested figure result."""
+    if out is None:
+        out = {}
+    if isinstance(obj, dict):
+        for k, v in obj.items():
+            if k == key and isinstance(v, np.ndarray):
+                out[prefix.rstrip(".") or key] = v
+            else:
+                _collect_series(v, f"{prefix}{k}.", out, key)
+    return out
+
+
+def _plot_figure(figure_id: int, out: dict) -> None:
+    from repro.experiments.plots import ascii_chart
+
+    if figure_id == 10:
+        curves = {
+            name: curve["mean"] for name, curve in out["curves"].items()
+        }
+        print(ascii_chart(curves, logy=True))
+        return
+    key = "max_canary_tpr" if figure_id == 4 else "mia_accuracy"
+    series = _collect_series(out, key=key)
+    if series:
+        print(ascii_chart(dict(list(series.items())[:8])))
+    else:
+        print("(nothing chartable for this figure)")
+
+
+def _run_figure(args: argparse.Namespace) -> int:
+    from repro.experiments import figures
+
+    fn = getattr(figures, f"figure{args.id}", None)
+    if fn is None:
+        print(f"no generator for figure {args.id}", file=sys.stderr)
+        return 2
+    if args.id == 10:
+        # Figure 10 always runs at the paper's n=150; the scale knob
+        # controls repetition count and horizon.
+        grid = {
+            "tiny": dict(iterations=40, runs=5),
+            "small": dict(iterations=80, runs=15),
+            "paper": dict(iterations=125, runs=50),
+        }[args.scale]
+        out = fn(**grid)
+    else:
+        out = fn(scale=args.scale)
+
+    def summarize(obj, prefix=""):
+        if isinstance(obj, dict):
+            for key, value in obj.items():
+                summarize(value, f"{prefix}{key}.")
+        elif isinstance(obj, np.ndarray):
+            flat = np.asarray(obj, dtype=np.float64).ravel()
+            print(f"{prefix[:-1]}: "
+                  + " ".join(f"{v:.4g}" for v in flat[:12])
+                  + (" ..." if flat.size > 12 else ""))
+        elif isinstance(obj, list) and obj and isinstance(obj[0], dict):
+            for i, row in enumerate(obj):
+                print(f"{prefix[:-1]}[{i}]: {row}")
+        else:
+            print(f"{prefix[:-1]}: {obj}")
+
+    summarize(out)
+    if args.plot:
+        print()
+        _plot_figure(args.id, out)
+    return 0
+
+
+def _run_tables(_: argparse.Namespace) -> int:
+    from repro.experiments.tables import render_rows, table1, table2
+
+    print("Table 1 — dataset characteristics")
+    print(render_rows(table1()))
+    print("\nTable 2 — training configuration")
+    print(render_rows(table2()))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction toolkit for 'Exposing the Vulnerability of "
+        "Decentralized Learning to MIA Through the Lens of Graph Mixing'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_study_parser(sub)
+    fig = sub.add_parser("figure", help="regenerate one paper figure's data")
+    fig.add_argument("--id", type=int, required=True, choices=range(2, 11))
+    fig.add_argument("--scale", default="tiny", choices=["tiny", "small", "paper"])
+    fig.add_argument("--plot", action="store_true",
+                     help="render an ASCII chart of the main series")
+    sub.add_parser("tables", help="print Tables 1 and 2")
+
+    args = parser.parse_args(argv)
+    if args.command == "study":
+        return _run_study(args)
+    if args.command == "figure":
+        return _run_figure(args)
+    return _run_tables(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

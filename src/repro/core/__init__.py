@@ -1,0 +1,17 @@
+"""High-level study API — the paper's primary contribution.
+
+:class:`~repro.core.study.VulnerabilityStudy` wires datasets,
+partitioning, topology, protocol, training and the omniscient MIA
+observer into a single reproducible run, returning per-round records of
+every Section 3.2 metric.
+"""
+
+from repro.core.attacker import OmniscientObserver
+from repro.core.study import StudyConfig, VulnerabilityStudy, run_study
+
+__all__ = [
+    "OmniscientObserver",
+    "StudyConfig",
+    "VulnerabilityStudy",
+    "run_study",
+]

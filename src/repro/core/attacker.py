@@ -1,0 +1,161 @@
+"""The omniscient observer of Section 2.6.
+
+"At regular time intervals [the attacker] recovers the current models
+of all nodes and performs A_MPE on each one of them, targeting each
+data sample of each node."
+
+The observer snapshots every node model at each round boundary, runs
+the MPE attack per node (members = the node's local training set,
+non-members = its local test set), and aggregates Section 3.2 metrics
+into a :class:`~repro.metrics.records.RoundRecord`. When a canary set
+is present it additionally runs the targeted canary attack of RQ3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.canary import CanarySet
+from repro.data.datasets import Dataset
+from repro.gossip.simulator import GossipSimulator
+from repro.metrics.evaluation import ModelEvaluation, evaluate_model, predict_proba
+from repro.metrics.records import RoundRecord
+from repro.nn.layers import Module
+from repro.nn.serialize import set_state
+from repro.privacy.mia import build_attack_data, mpe_scores, tpr_at_fpr
+
+__all__ = ["OmniscientObserver"]
+
+
+class OmniscientObserver:
+    """Evaluates every node's model after each communication round."""
+
+    def __init__(
+        self,
+        model: Module,
+        global_test: Dataset,
+        canaries: CanarySet | None = None,
+        canary_base: Dataset | None = None,
+        max_global_test: int = 512,
+        max_attack_samples: int = 256,
+        seed: int = 0,
+        keep_node_records: bool = False,
+    ):
+        if canaries is not None and canary_base is None:
+            raise ValueError("canary evaluation needs the base training split")
+        self.model = model
+        self.canaries = canaries
+        self.canary_base = canary_base
+        self.rng = np.random.default_rng(seed)
+        self.max_attack_samples = max_attack_samples
+        self.records: list[RoundRecord] = []
+        # Optional per-node evaluations (round -> list[ModelEvaluation]),
+        # for studying vulnerability vs graph position or data share.
+        self.keep_node_records = keep_node_records
+        self.node_records: list[list[ModelEvaluation]] = []
+        # Fixed global-test subsample: the same for every node and
+        # round, so series are comparable across time.
+        n = len(global_test)
+        take = min(max_global_test, n)
+        idx = self.rng.choice(n, size=take, replace=False)
+        self.x_global = global_test.x[idx]
+        self.y_global = global_test.y[idx]
+        self._epsilon_fn = None
+
+    def set_epsilon_fn(self, fn) -> None:
+        """Register a callable round_index -> epsilon for DP runs."""
+        self._epsilon_fn = fn
+
+    # -- per-round hook (signature matches GossipSimulator.run) --------
+
+    def __call__(self, round_index: int, simulator: GossipSimulator) -> None:
+        evaluations = [
+            self._evaluate_node(simulator, node_id)
+            for node_id in range(simulator.config.n_nodes)
+        ]
+        if self.keep_node_records:
+            self.node_records.append(evaluations)
+        canary_tpr = self._canary_attack(simulator) if self.canaries else None
+        epsilon = self._epsilon_fn(round_index) if self._epsilon_fn else None
+        self.records.append(
+            RoundRecord.from_evaluations(
+                round_index=round_index,
+                evaluations=evaluations,
+                messages_sent=simulator.messages_sent,
+                canary_tpr_at_1_fpr=canary_tpr,
+                epsilon=epsilon,
+                model_spread=self._model_spread(simulator),
+            )
+        )
+
+    @staticmethod
+    def _model_spread(simulator: GossipSimulator) -> float:
+        """Mean L2 distance of node models to the average model — the
+        consensus distance of Section 4 measured on real training."""
+        from repro.nn.serialize import state_to_vector
+
+        vectors = np.stack(
+            [state_to_vector(node.state) for node in simulator.nodes]
+        )
+        center = vectors.mean(axis=0)
+        return float(np.linalg.norm(vectors - center, axis=1).mean())
+
+    # -- internals ------------------------------------------------------
+
+    def _subsample(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if x.shape[0] <= self.max_attack_samples:
+            return x, y
+        idx = self.rng.choice(x.shape[0], size=self.max_attack_samples, replace=False)
+        return x[idx], y[idx]
+
+    def _evaluate_node(
+        self, simulator: GossipSimulator, node_id: int
+    ) -> ModelEvaluation:
+        node = simulator.nodes[node_id]
+        set_state(self.model, node.state)
+        x_tr, y_tr = self._subsample(node.train_x, node.train_y)
+        x_te, y_te = self._subsample(node.test_x, node.test_y)
+        return evaluate_model(
+            self.model,
+            node_id,
+            self.x_global,
+            self.y_global,
+            x_tr,
+            y_tr,
+            x_te,
+            y_te,
+            rng=self.rng,
+        )
+
+    def _canary_attack(self, simulator: GossipSimulator) -> float:
+        """Targeted entropy attack on the known canary set (RQ3).
+
+        Member canaries are scored against the model of the node that
+        trained on them; held-out canaries against the model of their
+        assigned node. Scores are pooled into one ROC.
+        """
+        assert self.canaries is not None and self.canary_base is not None
+        member_scores: list[np.ndarray] = []
+        holdout_scores: list[np.ndarray] = []
+        for node_id in range(simulator.config.n_nodes):
+            members = self.canaries.members_for_node(node_id)
+            holdouts = self.canaries.holdouts_for_node(node_id)
+            if members.size == 0 and holdouts.size == 0:
+                continue
+            set_state(self.model, simulator.nodes[node_id].state)
+            for indices, bucket in ((members, member_scores), (holdouts, holdout_scores)):
+                if indices.size == 0:
+                    continue
+                probs = predict_proba(self.model, self.canary_base.x[indices])
+                labels = self.canary_base.y[indices]
+                bucket.append(mpe_scores(probs, labels))
+        if not member_scores or not holdout_scores:
+            return 0.0
+        data = build_attack_data(
+            np.concatenate(member_scores),
+            np.concatenate(holdout_scores),
+            balance=False,
+        )
+        return tpr_at_fpr(data, 0.01)

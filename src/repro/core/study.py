@@ -1,0 +1,281 @@
+"""One-call API for a full MIA-vulnerability study.
+
+A :class:`StudyConfig` describes everything the paper varies — dataset,
+model, protocol, topology, dynamics, view size, data distribution,
+DP — plus the scale knobs (nodes, rounds, samples) that let the study
+run on a laptop. :func:`run_study` executes it and returns a
+:class:`~repro.metrics.records.RunResult`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.attacker import OmniscientObserver
+from repro.data.canary import make_canaries, inject_canaries
+from repro.data.datasets import make_dataset
+from repro.data.partition import make_node_splits
+from repro.gossip.protocols import make_protocol
+from repro.gossip.simulator import GossipSimulator, SimulatorConfig
+from repro.gossip.trainer import LocalTrainer, TrainerConfig
+from repro.metrics.records import RunResult
+from repro.nn.models import build_model
+from repro.nn.serialize import get_state
+from repro.privacy.accountant import RDPAccountant, calibrate_sigma
+from repro.privacy.dp import DPSGDConfig
+
+__all__ = ["StudyConfig", "VulnerabilityStudy", "run_study"]
+
+# Architecture used for each dataset in Table 2.
+_DATASET_MODELS = {
+    "cifar10": "cnn",
+    "cifar100": "resnet8",
+    "fashion_mnist": "cnn",
+    "purchase100": "mlp",
+}
+_DATASET_CHANNELS = {"cifar10": 3, "cifar100": 3, "fashion_mnist": 1}
+_DATASET_CLASSES = {
+    "cifar10": 10,
+    "cifar100": 100,
+    "fashion_mnist": 10,
+    "purchase100": 100,
+}
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Full description of one experimental run."""
+
+    name: str = "study"
+    # Data.
+    dataset: str = "cifar10"
+    n_train: int = 2_000
+    n_test: int = 500
+    image_size: int = 16
+    num_features: int = 600
+    train_per_node: int | None = 64
+    test_per_node: int | None = 32
+    beta: float | None = None  # None = i.i.d., else Dirichlet(beta)
+    # Model.
+    model_width: int = 8
+    mlp_hidden: tuple[int, ...] = (256, 128, 64)
+    # Communication.
+    n_nodes: int = 16
+    view_size: int = 2
+    dynamic: bool = False
+    sampler: str | None = None  # overrides `dynamic`: static/peerswap/fresh
+    protocol: str = "samo"
+    rounds: int = 10
+    ticks_per_round: int = 100
+    drop_prob: float = 0.0  # message-loss injection
+    failure_prob: float = 0.0  # node-churn injection
+    delay_ticks: int = 0  # network latency (ticks per message)
+    delay_jitter: int = 0  # extra uniform latency in [0, jitter]
+    # Local training (Table 2 columns).
+    learning_rate: float = 0.01
+    momentum: float = 0.9
+    weight_decay: float = 5e-4
+    local_epochs: int = 3
+    batch_size: int = 32
+    # Early-overfitting mitigations (Section 5 recommendations).
+    label_smoothing: float = 0.0
+    lr_decay: float = 1.0
+    # Differential privacy (RQ7). ``dp_epsilon`` of None disables DP.
+    dp_epsilon: float | None = None
+    dp_delta: float = 1e-5
+    dp_clip_norm: float = 1.0
+    # Canary auditing (RQ3). 0 disables.
+    n_canaries: int = 0
+    # Evaluation.
+    max_global_test: int = 512
+    max_attack_samples: int = 256
+    keep_node_records: bool = False  # retain per-node evaluations
+    seed: int = 0
+
+    def with_overrides(self, **kwargs) -> "StudyConfig":
+        return replace(self, **kwargs)
+
+    @property
+    def architecture(self) -> str:
+        if self.dataset not in _DATASET_MODELS:
+            raise ValueError(f"unknown dataset {self.dataset!r}")
+        return _DATASET_MODELS[self.dataset]
+
+    @property
+    def num_classes(self) -> int:
+        return _DATASET_CLASSES[self.dataset]
+
+
+class VulnerabilityStudy:
+    """Builds and runs the full pipeline described by a StudyConfig."""
+
+    def __init__(self, config: StudyConfig):
+        self.config = config
+        cfg = config
+        # Data ---------------------------------------------------------
+        dataset_kwargs = {}
+        if cfg.architecture != "mlp":
+            dataset_kwargs["image_size"] = cfg.image_size
+        else:
+            dataset_kwargs["num_features"] = cfg.num_features
+        self.base_train, self.global_test = make_dataset(
+            cfg.dataset, cfg.n_train, cfg.n_test, seed=cfg.seed, **dataset_kwargs
+        )
+        data_rng = np.random.default_rng(cfg.seed + 1)
+        self.splits = make_node_splits(
+            self.base_train,
+            cfg.n_nodes,
+            train_per_node=cfg.train_per_node,
+            test_per_node=cfg.test_per_node,
+            beta=cfg.beta,
+            seed=cfg.seed + 2,
+        )
+        self.canaries = None
+        if cfg.n_canaries > 0:
+            self.canaries = make_canaries(
+                self.base_train, cfg.n_canaries, cfg.n_nodes, data_rng
+            )
+            self.splits = inject_canaries(self.splits, self.canaries)
+        # Model ---------------------------------------------------------
+        self.model = build_model(
+            cfg.architecture,
+            in_channels=_DATASET_CHANNELS.get(cfg.dataset, 3),
+            image_size=cfg.image_size,
+            in_features=cfg.num_features,
+            num_classes=cfg.num_classes,
+            width=cfg.model_width,
+            hidden=cfg.mlp_hidden,
+            seed=cfg.seed,
+        )
+        self.initial_state = get_state(self.model)
+        # Protocol / simulator -------------------------------------------
+        trainer = LocalTrainer(
+            self.model,
+            TrainerConfig(
+                learning_rate=cfg.learning_rate,
+                momentum=cfg.momentum,
+                weight_decay=cfg.weight_decay,
+                local_epochs=cfg.local_epochs,
+                batch_size=cfg.batch_size,
+                label_smoothing=cfg.label_smoothing,
+                lr_decay=cfg.lr_decay,
+                dp=None,
+            ),
+        )
+        self.protocol = make_protocol(cfg.protocol, trainer)
+        self.simulator = GossipSimulator(
+            SimulatorConfig(
+                n_nodes=cfg.n_nodes,
+                view_size=cfg.view_size,
+                dynamic=cfg.dynamic,
+                sampler=cfg.sampler,
+                ticks_per_round=cfg.ticks_per_round,
+                drop_prob=cfg.drop_prob,
+                failure_prob=cfg.failure_prob,
+                delay_ticks=cfg.delay_ticks,
+                delay_jitter=cfg.delay_jitter,
+                seed=cfg.seed + 3,
+            ),
+            self.protocol,
+            self.splits,
+            self.initial_state,
+        )
+        # DP: calibrated against the exact wake schedule, enforced with
+        # a per-node update cap so the budget is a hard guarantee.
+        self._dp_q = 0.0
+        self._sigma = 0.0
+        if cfg.dp_epsilon is not None:
+            self._install_dp()
+        self.observer = OmniscientObserver(
+            self.model,
+            self.global_test,
+            canaries=self.canaries,
+            canary_base=self.base_train if self.canaries else None,
+            max_global_test=cfg.max_global_test,
+            max_attack_samples=cfg.max_attack_samples,
+            seed=cfg.seed + 4,
+            keep_node_records=cfg.keep_node_records,
+        )
+        if cfg.dp_epsilon is not None:
+            self.observer.set_epsilon_fn(self._epsilon_at_round)
+
+    # -- DP plumbing ----------------------------------------------------
+
+    def _steps_per_update(self) -> int:
+        """DP-SGD steps in one local update of the largest node."""
+        cfg = self.config
+        sizes = [max(1, s.train.indices.size) for s in self.splits]
+        return max(
+            cfg.local_epochs * math.ceil(n / cfg.batch_size) for n in sizes
+        )
+
+    def _install_dp(self) -> None:
+        """Calibrate sigma against the planned run and cap updates.
+
+        The wake schedule is already fixed, so the maximum number of
+        wake-ups per node over the horizon is exact; the per-node
+        update cap makes it an upper bound on local updates for both
+        protocols (Base Gossip trains on receptions, which the cap also
+        covers), turning the calibrated budget into a hard guarantee.
+        """
+        cfg = self.config
+        assert cfg.dp_epsilon is not None
+        horizon = cfg.rounds * cfg.ticks_per_round
+        max_wakes = max(
+            self.simulator.schedule.count_wakes(i, horizon)
+            for i in range(cfg.n_nodes)
+        )
+        planned_updates = max(1, max_wakes)
+        local_n = max(1, min(s.train.indices.size for s in self.splits))
+        q = min(1.0, cfg.batch_size / local_n)
+        total_steps = planned_updates * self._steps_per_update()
+        sigma = calibrate_sigma(cfg.dp_epsilon, cfg.dp_delta, q, total_steps)
+        dp_config = DPSGDConfig(
+            clip_norm=cfg.dp_clip_norm,
+            noise_multiplier=sigma,
+            target_epsilon=cfg.dp_epsilon,
+            target_delta=cfg.dp_delta,
+        )
+        trainer = self.protocol.trainer
+        trainer.config = replace(trainer.config, dp=dp_config)
+        self.protocol.max_updates_per_node = planned_updates
+        self._dp_q = q
+        self._sigma = sigma
+
+    def _epsilon_at_round(self, round_index: int) -> float:
+        """Epsilon spent by the busiest node up to ``round_index``."""
+        updates = max(n.updates_performed for n in self.simulator.nodes)
+        accountant = RDPAccountant()
+        accountant.step(self._dp_q, self._sigma, updates * self._steps_per_update())
+        return accountant.get_epsilon(self.config.dp_delta)
+
+    # -- execution --------------------------------------------------------
+
+    def run(self) -> RunResult:
+        self.simulator.run(self.config.rounds, round_callback=self.observer)
+        result = RunResult(
+            config_name=self.config.name,
+            rounds=self.observer.records,
+            metadata={
+                "dataset": self.config.dataset,
+                "protocol": self.config.protocol,
+                "dynamic": self.config.dynamic,
+                "sampler": self.simulator.config.sampler_name,
+                "view_size": self.config.view_size,
+                "beta": self.config.beta,
+                "dp_epsilon": self.config.dp_epsilon,
+                "noise_multiplier": self._sigma,
+                "n_nodes": self.config.n_nodes,
+                "messages_dropped": self.simulator.messages_dropped,
+                "wakes_skipped": self.simulator.wakes_skipped,
+            },
+        )
+        return result
+
+
+def run_study(config: StudyConfig) -> RunResult:
+    """Convenience wrapper: build and run in one call."""
+    return VulnerabilityStudy(config).run()

@@ -1,0 +1,51 @@
+"""Datasets, partitioning, and canary construction.
+
+The paper evaluates on CIFAR-10, CIFAR-100, FashionMNIST and
+Purchase100. Those corpora are not downloadable in this offline
+environment, so :mod:`repro.data.datasets` provides synthetic
+class-conditional generators with matching shapes and class counts and
+controllable difficulty (see DESIGN.md §4 for the substitution
+rationale).
+"""
+
+from repro.data.datasets import (
+    Dataset,
+    Subset,
+    make_synthetic_image_dataset,
+    make_synthetic_tabular_dataset,
+    make_cifar10_like,
+    make_cifar100_like,
+    make_fashion_mnist_like,
+    make_purchase100_like,
+    make_dataset,
+    DATASET_BUILDERS,
+)
+from repro.data.partition import (
+    NodeSplit,
+    iid_partition,
+    dirichlet_partition,
+    make_node_splits,
+    label_distribution,
+)
+from repro.data.canary import CanarySet, make_canaries, inject_canaries
+
+__all__ = [
+    "Dataset",
+    "Subset",
+    "make_synthetic_image_dataset",
+    "make_synthetic_tabular_dataset",
+    "make_cifar10_like",
+    "make_cifar100_like",
+    "make_fashion_mnist_like",
+    "make_purchase100_like",
+    "make_dataset",
+    "DATASET_BUILDERS",
+    "NodeSplit",
+    "iid_partition",
+    "dirichlet_partition",
+    "make_node_splits",
+    "label_distribution",
+    "CanarySet",
+    "make_canaries",
+    "inject_canaries",
+]

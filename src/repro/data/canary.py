@@ -1,0 +1,130 @@
+"""Canary construction for worst-case privacy auditing (RQ3).
+
+Following Aerni et al. (cited as [1] in the paper), canaries are
+samples whose label is flipped to a wrong class, so a model can only
+predict the flipped label by memorizing the sample. The paper
+distributes canaries disjointly and evenly over all nodes and runs a
+targeted, node-specific entropy attack on the known canary set.
+
+To score the attack we need both member and non-member canaries:
+half of the constructed canaries are *injected* into node training
+sets, the other half are *held out* (label-flipped but never trained
+on). Each held-out canary is assigned to a node as well and scored on
+that node's model, mirroring the targeted attack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+from repro.data.partition import NodeSplit
+
+__all__ = ["CanarySet", "make_canaries", "inject_canaries"]
+
+
+@dataclass
+class CanarySet:
+    """Bookkeeping for injected and held-out canaries.
+
+    All indices refer to rows of the base training split whose labels
+    were flipped in place. ``member_indices`` enter node training sets;
+    ``holdout_indices`` never do. ``node_of`` maps every canary index
+    (member or holdout) to the node whose model it is scored against.
+    """
+
+    member_indices: np.ndarray
+    holdout_indices: np.ndarray
+    original_labels: dict[int, int]
+    flipped_labels: dict[int, int]
+    node_of: dict[int, int]
+
+    def __len__(self) -> int:
+        return self.member_indices.size + self.holdout_indices.size
+
+    @property
+    def all_indices(self) -> np.ndarray:
+        return np.concatenate([self.member_indices, self.holdout_indices])
+
+    def members_for_node(self, node_id: int) -> np.ndarray:
+        return np.array(
+            [i for i in self.member_indices if self.node_of[int(i)] == node_id],
+            dtype=np.int64,
+        )
+
+    def holdouts_for_node(self, node_id: int) -> np.ndarray:
+        return np.array(
+            [i for i in self.holdout_indices if self.node_of[int(i)] == node_id],
+            dtype=np.int64,
+        )
+
+
+def make_canaries(
+    base_train: Dataset,
+    n_canaries: int,
+    n_nodes: int,
+    rng: np.random.Generator,
+    holdout_fraction: float = 0.5,
+) -> CanarySet:
+    """Create ``n_canaries`` label-flipped canaries, split member/holdout.
+
+    Labels are flipped in place on ``base_train``. Members and holdouts
+    are each spread round-robin over nodes.
+    """
+    if n_canaries < 2:
+        raise ValueError("need at least 2 canaries (one member, one holdout)")
+    if n_canaries > len(base_train):
+        raise ValueError("more canaries than samples")
+    if not 0.0 < holdout_fraction < 1.0:
+        raise ValueError("holdout_fraction must be in (0, 1)")
+    num_classes = base_train.num_classes
+    if num_classes < 2:
+        raise ValueError("label flipping needs at least 2 classes")
+
+    chosen = rng.choice(len(base_train), size=n_canaries, replace=False)
+    n_holdout = max(1, int(round(n_canaries * holdout_fraction)))
+    n_holdout = min(n_holdout, n_canaries - 1)
+    holdout = np.sort(chosen[:n_holdout])
+    members = np.sort(chosen[n_holdout:])
+
+    original: dict[int, int] = {}
+    flipped: dict[int, int] = {}
+    node_of: dict[int, int] = {}
+    for group in (members, holdout):
+        for rank, idx in enumerate(group):
+            idx = int(idx)
+            original[idx] = int(base_train.y[idx])
+            offset = int(rng.integers(1, num_classes))
+            flipped[idx] = (original[idx] + offset) % num_classes
+            base_train.y[idx] = flipped[idx]
+            node_of[idx] = rank % n_nodes
+    return CanarySet(
+        member_indices=members,
+        holdout_indices=holdout,
+        original_labels=original,
+        flipped_labels=flipped,
+        node_of=node_of,
+    )
+
+
+def inject_canaries(splits: list[NodeSplit], canaries: CanarySet) -> list[NodeSplit]:
+    """Rebuild node splits so member canaries are trained on by exactly
+    their assigned node and no canary leaks into any test set or any
+    other node's training set."""
+    out: list[NodeSplit] = []
+    all_canaries = canaries.all_indices
+    for split in splits:
+        mine = canaries.members_for_node(split.node_id)
+        train_idx = np.setdiff1d(split.train.indices, all_canaries)
+        train_idx = np.union1d(train_idx, mine)
+        test_idx = np.setdiff1d(split.test.indices, all_canaries)
+        out.append(
+            NodeSplit(
+                node_id=split.node_id,
+                train=split.train.base.subset(train_idx),
+                test=split.train.base.subset(test_idx),
+            )
+        )
+    return out

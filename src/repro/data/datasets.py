@@ -1,0 +1,298 @@
+"""Synthetic stand-ins for the paper's four datasets.
+
+Each generator produces class-conditional data that a small network can
+learn, yet still overfit when a node holds only a few hundred samples —
+the property membership inference exploits. Difficulty is controlled by
+
+* ``prototypes_per_class`` — intra-class diversity (more prototypes is
+  harder, emulating fine-grained datasets like CIFAR-100),
+* ``noise_std`` — per-sample noise around the prototype,
+* ``label_noise`` — fraction of uniformly re-labeled samples.
+
+Image generators emit ``(N, C, H, W)`` float arrays in [0, 1]-ish
+range; the tabular generator emits binary features like Purchase100.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "Dataset",
+    "Subset",
+    "make_synthetic_image_dataset",
+    "make_synthetic_tabular_dataset",
+    "make_cifar10_like",
+    "make_cifar100_like",
+    "make_fashion_mnist_like",
+    "make_purchase100_like",
+    "make_dataset",
+    "DATASET_BUILDERS",
+]
+
+
+@dataclass
+class Dataset:
+    """An in-memory supervised dataset."""
+
+    name: str
+    x: np.ndarray
+    y: np.ndarray
+    num_classes: int
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.y = np.asarray(self.y, dtype=np.int64)
+        if self.x.shape[0] != self.y.shape[0]:
+            raise ValueError("x and y must have the same number of samples")
+        if self.y.size and (self.y.min() < 0 or self.y.max() >= self.num_classes):
+            raise ValueError("labels out of range")
+
+    def __len__(self) -> int:
+        return self.x.shape[0]
+
+    @property
+    def input_shape(self) -> tuple[int, ...]:
+        return self.x.shape[1:]
+
+    def subset(self, indices: np.ndarray) -> "Subset":
+        return Subset(self, np.asarray(indices, dtype=np.int64))
+
+
+@dataclass
+class Subset:
+    """A view over a subset of a dataset's rows."""
+
+    base: Dataset
+    indices: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.indices = np.asarray(self.indices, dtype=np.int64)
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= len(self.base)
+        ):
+            raise IndexError("subset indices out of range")
+
+    def __len__(self) -> int:
+        return self.indices.shape[0]
+
+    @property
+    def x(self) -> np.ndarray:
+        return self.base.x[self.indices]
+
+    @property
+    def y(self) -> np.ndarray:
+        return self.base.y[self.indices]
+
+    @property
+    def num_classes(self) -> int:
+        return self.base.num_classes
+
+
+def _sample_labels(
+    n: int, num_classes: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Balanced label vector (as close to equal counts as possible)."""
+    per_class = n // num_classes
+    labels = np.repeat(np.arange(num_classes), per_class)
+    remainder = n - labels.size
+    if remainder:
+        labels = np.concatenate([labels, rng.integers(0, num_classes, remainder)])
+    rng.shuffle(labels)
+    return labels.astype(np.int64)
+
+
+def make_synthetic_image_dataset(
+    name: str,
+    n_train: int,
+    n_test: int,
+    image_size: int = 32,
+    channels: int = 3,
+    num_classes: int = 10,
+    prototypes_per_class: int = 3,
+    noise_std: float = 0.35,
+    label_noise: float = 0.0,
+    seed: int = 0,
+) -> tuple[Dataset, Dataset]:
+    """Generate paired train/test image datasets.
+
+    Each class owns ``prototypes_per_class`` smooth random prototype
+    images; every sample is a random prototype plus Gaussian pixel noise
+    and a small random brightness shift. Train and test are drawn from
+    the same distribution.
+    """
+    rng = np.random.default_rng(seed)
+    # Smooth prototypes: low-resolution random fields upsampled, so that
+    # convolutions have local structure to exploit.
+    low = max(2, image_size // 4)
+    prototypes = rng.normal(
+        0.5, 0.5, size=(num_classes, prototypes_per_class, channels, low, low)
+    )
+    reps = int(np.ceil(image_size / low))
+    prototypes = np.kron(prototypes, np.ones((1, 1, 1, reps, reps)))
+    prototypes = prototypes[..., :image_size, :image_size]
+
+    def _make(n: int) -> tuple[np.ndarray, np.ndarray]:
+        labels = _sample_labels(n, num_classes, rng)
+        proto_idx = rng.integers(0, prototypes_per_class, size=n)
+        x = prototypes[labels, proto_idx].astype(np.float64)
+        x = x + rng.normal(0.0, noise_std, size=x.shape)
+        x = x + rng.normal(0.0, 0.1, size=(n, 1, 1, 1))  # brightness jitter
+        if label_noise > 0:
+            flip = rng.random(n) < label_noise
+            labels[flip] = rng.integers(0, num_classes, size=int(flip.sum()))
+        return x, labels
+
+    x_tr, y_tr = _make(n_train)
+    x_te, y_te = _make(n_test)
+    meta = {
+        "image_size": image_size,
+        "channels": channels,
+        "prototypes_per_class": prototypes_per_class,
+        "noise_std": noise_std,
+        "label_noise": label_noise,
+    }
+    return (
+        Dataset(f"{name}-train", x_tr, y_tr, num_classes, dict(meta)),
+        Dataset(f"{name}-test", x_te, y_te, num_classes, dict(meta)),
+    )
+
+
+def make_synthetic_tabular_dataset(
+    name: str,
+    n_train: int,
+    n_test: int,
+    num_features: int = 600,
+    num_classes: int = 100,
+    flip_prob: float = 0.15,
+    label_noise: float = 0.0,
+    seed: int = 0,
+) -> tuple[Dataset, Dataset]:
+    """Generate paired train/test binary tabular datasets.
+
+    Mirrors Purchase100: each class is a random binary prototype vector;
+    samples flip each bit independently with ``flip_prob``.
+    """
+    rng = np.random.default_rng(seed)
+    prototypes = (rng.random((num_classes, num_features)) < 0.5).astype(np.float64)
+
+    def _make(n: int) -> tuple[np.ndarray, np.ndarray]:
+        labels = _sample_labels(n, num_classes, rng)
+        x = prototypes[labels].copy()
+        flips = rng.random(x.shape) < flip_prob
+        x[flips] = 1.0 - x[flips]
+        if label_noise > 0:
+            flip = rng.random(n) < label_noise
+            labels[flip] = rng.integers(0, num_classes, size=int(flip.sum()))
+        return x, labels
+
+    x_tr, y_tr = _make(n_train)
+    x_te, y_te = _make(n_test)
+    meta = {
+        "num_features": num_features,
+        "flip_prob": flip_prob,
+        "label_noise": label_noise,
+    }
+    return (
+        Dataset(f"{name}-train", x_tr, y_tr, num_classes, dict(meta)),
+        Dataset(f"{name}-test", x_te, y_te, num_classes, dict(meta)),
+    )
+
+
+def make_cifar10_like(
+    n_train: int = 50_000,
+    n_test: int = 10_000,
+    image_size: int = 32,
+    seed: int = 0,
+) -> tuple[Dataset, Dataset]:
+    """CIFAR-10 stand-in: 10 classes, 3-channel images, moderate difficulty."""
+    return make_synthetic_image_dataset(
+        "cifar10",
+        n_train,
+        n_test,
+        image_size=image_size,
+        channels=3,
+        num_classes=10,
+        prototypes_per_class=4,
+        noise_std=0.45,
+        seed=seed,
+    )
+
+
+def make_cifar100_like(
+    n_train: int = 50_000,
+    n_test: int = 10_000,
+    image_size: int = 32,
+    seed: int = 0,
+) -> tuple[Dataset, Dataset]:
+    """CIFAR-100 stand-in: 100 fine-grained classes, hardest image task."""
+    return make_synthetic_image_dataset(
+        "cifar100",
+        n_train,
+        n_test,
+        image_size=image_size,
+        channels=3,
+        num_classes=100,
+        prototypes_per_class=3,
+        noise_std=0.55,
+        seed=seed,
+    )
+
+
+def make_fashion_mnist_like(
+    n_train: int = 60_000,
+    n_test: int = 10_000,
+    image_size: int = 28,
+    seed: int = 0,
+) -> tuple[Dataset, Dataset]:
+    """FashionMNIST stand-in: 10 classes, 1-channel images, easiest task."""
+    return make_synthetic_image_dataset(
+        "fashion_mnist",
+        n_train,
+        n_test,
+        image_size=image_size,
+        channels=1,
+        num_classes=10,
+        prototypes_per_class=2,
+        noise_std=0.30,
+        seed=seed,
+    )
+
+
+def make_purchase100_like(
+    n_train: int = 157_859,
+    n_test: int = 39_465,
+    num_features: int = 600,
+    seed: int = 0,
+) -> tuple[Dataset, Dataset]:
+    """Purchase100 stand-in: 600 binary features, 100 classes."""
+    return make_synthetic_tabular_dataset(
+        "purchase100",
+        n_train,
+        n_test,
+        num_features=num_features,
+        num_classes=100,
+        flip_prob=0.15,
+        seed=seed,
+    )
+
+
+DATASET_BUILDERS = {
+    "cifar10": make_cifar10_like,
+    "cifar100": make_cifar100_like,
+    "fashion_mnist": make_fashion_mnist_like,
+    "purchase100": make_purchase100_like,
+}
+
+
+def make_dataset(
+    name: str, n_train: int, n_test: int, seed: int = 0, **kwargs
+) -> tuple[Dataset, Dataset]:
+    """Build a train/test pair by dataset name (see DATASET_BUILDERS)."""
+    if name not in DATASET_BUILDERS:
+        raise ValueError(
+            f"unknown dataset {name!r}; choose from {sorted(DATASET_BUILDERS)}"
+        )
+    return DATASET_BUILDERS[name](n_train=n_train, n_test=n_test, seed=seed, **kwargs)

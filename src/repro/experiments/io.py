@@ -1,0 +1,84 @@
+"""Persistence for experiment results.
+
+Runs are expensive at larger scales; these helpers serialize
+:class:`~repro.metrics.records.RunResult` to JSON (lossless) and CSV
+(per-round rows for plotting in any tool), and load them back.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.metrics.records import RoundRecord, RunResult
+
+__all__ = ["save_result", "load_result", "result_to_csv", "results_to_summary_csv"]
+
+_CSV_COLUMNS = [
+    "round_index",
+    "global_test_accuracy",
+    "local_train_accuracy",
+    "local_test_accuracy",
+    "mia_accuracy",
+    "mia_tpr_at_1_fpr",
+    "mia_auc",
+    "max_mia_tpr_at_1_fpr",
+    "canary_tpr_at_1_fpr",
+    "messages_sent",
+    "epsilon",
+    "model_spread",
+]
+
+
+def save_result(result: RunResult, path: str | Path) -> Path:
+    """Write a run to JSON. Returns the path written."""
+    path = Path(path)
+    payload = {
+        "config_name": result.config_name,
+        "metadata": result.metadata,
+        "rounds": [asdict(record) for record in result.rounds],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_result(path: str | Path) -> RunResult:
+    """Read a run previously written by :func:`save_result`."""
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, dict) or "rounds" not in payload:
+        raise ValueError(f"{path} is not a saved RunResult")
+    rounds = [RoundRecord(**record) for record in payload["rounds"]]
+    return RunResult(
+        config_name=payload["config_name"],
+        rounds=rounds,
+        metadata=payload.get("metadata", {}),
+    )
+
+
+def result_to_csv(result: RunResult, path: str | Path) -> Path:
+    """Write one row per round; columns follow Section 3.2 metrics."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_CSV_COLUMNS)
+        for record in result.rounds:
+            row = asdict(record)
+            writer.writerow([row[c] for c in _CSV_COLUMNS])
+    return path
+
+
+def results_to_summary_csv(
+    results: dict[str, RunResult], path: str | Path
+) -> Path:
+    """Write one summary row per run (the headline-numbers table)."""
+    path = Path(path)
+    rows = [result.summary() for result in results.values()]
+    if not rows:
+        raise ValueError("no results to summarize")
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
+        writer.writeheader()
+        writer.writerows(rows)
+    return path

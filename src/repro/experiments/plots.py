@@ -1,0 +1,91 @@
+"""Terminal plotting for figure series (no matplotlib available
+offline).
+
+Renders one or more numeric series as an ASCII chart so CLI users can
+eyeball the paper's trends — MIA climbing over rounds, lambda2
+decaying, static/dynamic gaps — directly in a terminal.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["sparkline", "ascii_chart"]
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values, width: int = 60) -> str:
+    """One-line intensity strip of a series, resampled to ``width``."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return ""
+    arr = arr[np.isfinite(arr)]
+    if arr.size == 0:
+        return ""
+    if arr.size > width:
+        # Average-pool down to the target width.
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        arr = np.array([arr[a:b].mean() for a, b in zip(edges, edges[1:])])
+    lo, hi = float(arr.min()), float(arr.max())
+    span = hi - lo
+    out = []
+    for v in arr:
+        frac = 0.5 if span == 0 else (v - lo) / span
+        idx = min(len(_SPARK_LEVELS) - 1, int(frac * (len(_SPARK_LEVELS) - 1)))
+        out.append(_SPARK_LEVELS[idx])
+    return "".join(out)
+
+
+def ascii_chart(
+    series: dict[str, "np.ndarray"],
+    width: int = 64,
+    height: int = 12,
+    logy: bool = False,
+) -> str:
+    """Multi-series ASCII line chart.
+
+    Each series gets a marker character; the y-axis is shared (optionally
+    log-scaled, for lambda2-style decays). Returns a printable block.
+    """
+    if not series:
+        return "(no series)"
+    markers = "ox+*#@%&"
+    cleaned: dict[str, np.ndarray] = {}
+    for name, values in series.items():
+        arr = np.asarray(values, dtype=np.float64)
+        arr = arr[np.isfinite(arr)]
+        if logy:
+            arr = arr[arr > 0]
+            arr = np.log10(arr)
+        if arr.size:
+            cleaned[name] = arr
+    if not cleaned:
+        return "(no finite data)"
+    lo = min(float(a.min()) for a in cleaned.values())
+    hi = max(float(a.max()) for a in cleaned.values())
+    span = hi - lo or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for (name, arr), marker in zip(cleaned.items(), markers):
+        n = arr.size
+        for col in range(width):
+            # Nearest-sample resampling onto the column grid.
+            src = 0 if n == 1 else int(round(col * (n - 1) / (width - 1)))
+            frac = (arr[src] - lo) / span
+            row = height - 1 - min(height - 1, int(frac * (height - 1)))
+            grid[row][col] = marker
+    top_label = f"{10**hi:.2e}" if logy else f"{hi:.3f}"
+    bot_label = f"{10**lo:.2e}" if logy else f"{lo:.3f}"
+    lines = []
+    for i, row in enumerate(grid):
+        prefix = top_label if i == 0 else (bot_label if i == height - 1 else "")
+        lines.append(f"{prefix:>10} |{''.join(row)}")
+    legend = "  ".join(
+        f"{marker}={name}"
+        for (name, _), marker in zip(cleaned.items(), markers)
+    )
+    lines.append(f"{'':>10} +{'-' * width}")
+    lines.append(f"{'':>11}{legend}")
+    return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Thin execution layer over :mod:`repro.core.study`."""
+
+from __future__ import annotations
+
+from repro.core.study import StudyConfig, run_study
+from repro.metrics.records import RunResult
+
+__all__ = ["run_experiment", "run_many"]
+
+
+def run_experiment(config: StudyConfig) -> RunResult:
+    """Run one configured study (alias of :func:`repro.core.run_study`)."""
+    return run_study(config)
+
+
+def run_many(configs: list[StudyConfig]) -> dict[str, RunResult]:
+    """Run several studies and key results by config name.
+
+    Names must be unique — figures rely on them as series labels.
+    """
+    names = [c.name for c in configs]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate config names: {names}")
+    return {config.name: run_study(config) for config in configs}

@@ -1,0 +1,101 @@
+"""Tick clock and per-node wake-up schedules.
+
+"The execution is divided into discrete time units called ticks. Each
+round of communication is represented by 100 ticks and each node i
+waits Delta_i ticks between wake-ups. The waiting time Delta_i is
+sampled from a normal distribution N(mu, sigma^2) with mu = 100 and
+sigma^2 = 100 at the beginning of the execution." (Section 3.1)
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["WakeSchedule", "TickClock"]
+
+
+class WakeSchedule:
+    """Deterministic wake-up times for every node.
+
+    Each node's gap is drawn once; the first wake-up is a uniform
+    random phase in [0, gap) so nodes are desynchronized from the
+    start, then wake-ups repeat every ``gap`` ticks.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        rng: np.random.Generator,
+        mu: float = 100.0,
+        sigma: float = 10.0,
+        min_gap: int = 1,
+    ):
+        if n_nodes <= 0:
+            raise ValueError("n_nodes must be positive")
+        if mu <= 0 or sigma < 0:
+            raise ValueError("mu must be positive and sigma non-negative")
+        gaps = rng.normal(mu, sigma, size=n_nodes)
+        self.gaps = np.maximum(np.round(gaps), min_gap).astype(np.int64)
+        self.phases = np.array(
+            [rng.integers(0, gap) for gap in self.gaps], dtype=np.int64
+        )
+
+    def wakes_at(self, node_id: int, tick: int) -> bool:
+        """True when ``node_id`` wakes at ``tick``."""
+        gap = self.gaps[node_id]
+        return tick >= self.phases[node_id] and (tick - self.phases[node_id]) % gap == 0
+
+    def waking_nodes(self, tick: int) -> list[int]:
+        """Node ids waking at ``tick`` (ascending order)."""
+        offset = tick - self.phases
+        mask = (offset >= 0) & (offset % self.gaps == 0)
+        return list(np.flatnonzero(mask))
+
+    def count_wakes(self, node_id: int, horizon_ticks: int) -> int:
+        """Exact number of wake-ups of ``node_id`` in [0, horizon_ticks).
+
+        Used by the DP accountant to bound the number of local updates
+        a node can perform over a planned run.
+        """
+        phase = int(self.phases[node_id])
+        gap = int(self.gaps[node_id])
+        if horizon_ticks <= phase:
+            return 0
+        return (horizon_ticks - 1 - phase) // gap + 1
+
+    def wakeups_per_round(self, ticks_per_round: int = 100) -> float:
+        """Expected total wake-ups per round, for diagnostics."""
+        return float(np.sum(ticks_per_round / self.gaps))
+
+
+class TickClock:
+    """Counts ticks and converts them to communication rounds."""
+
+    def __init__(self, ticks_per_round: int = 100):
+        if ticks_per_round <= 0:
+            raise ValueError("ticks_per_round must be positive")
+        self.ticks_per_round = ticks_per_round
+        self.tick = 0
+
+    def advance(self) -> int:
+        self.tick += 1
+        return self.tick
+
+    @property
+    def round_index(self) -> int:
+        """Zero-based index of the round containing the current tick."""
+        return self.tick // self.ticks_per_round
+
+    def is_round_boundary(self) -> bool:
+        """True right after the last tick of a round."""
+        return self.tick > 0 and self.tick % self.ticks_per_round == 0
+
+    def ticks_for_rounds(self, rounds: int) -> int:
+        if rounds < 0:
+            raise ValueError("rounds must be non-negative")
+        return rounds * self.ticks_per_round
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TickClock(tick={self.tick}, round={self.round_index})"

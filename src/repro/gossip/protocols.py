@@ -1,0 +1,153 @@
+"""The two gossip-learning protocols of the paper.
+
+* :class:`BaseGossipProtocol` — Algorithm 1. On wake-up a node sends
+  its model to ONE random neighbor. On reception it aggregates pairwise
+  (``theta_i <- (theta_i + theta_j) / 2``) and immediately performs a
+  local update.
+* :class:`SAMOProtocol` — Algorithm 2 (Send-All-Merge-Once, the
+  paper's contribution). On reception a node only stores the model. On
+  wake-up, if models were received it averages them with its own,
+  performs a local update, clears the buffer, and finally sends its
+  model to ALL neighbors.
+
+Both are driven by the simulator through two hooks, ``on_wake`` and
+``on_receive``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.gossip.node import GossipNode
+from repro.gossip.trainer import LocalTrainer
+from repro.nn.serialize import State, average_states
+
+__all__ = [
+    "GossipProtocol",
+    "BaseGossipProtocol",
+    "PartialMergeGossipProtocol",
+    "SAMOProtocol",
+    "make_protocol",
+]
+
+# send(sender_id, receiver_id, payload) provided by the simulator.
+SendFn = Callable[[int, int, State], None]
+
+
+class GossipProtocol:
+    """Interface shared by both protocols.
+
+    ``max_updates_per_node`` caps local updates per node; once a node
+    exhausts the cap it keeps gossiping (aggregation and dissemination
+    continue) but skips further training. The DP runner uses this to
+    make the calibrated privacy budget a hard guarantee — exactly the
+    fixed-step budget of DP-SGD deployments.
+    """
+
+    name = "abstract"
+
+    def __init__(self, trainer: LocalTrainer, max_updates_per_node: int | None = None):
+        self.trainer = trainer
+        self.max_updates_per_node = max_updates_per_node
+
+    def on_wake(self, node: GossipNode, view: set[int], send: SendFn) -> None:
+        raise NotImplementedError
+
+    def on_receive(self, node: GossipNode, payload: State) -> None:
+        raise NotImplementedError
+
+    def _local_update(self, node: GossipNode) -> None:
+        if (
+            self.max_updates_per_node is not None
+            and node.updates_performed >= self.max_updates_per_node
+        ):
+            return
+        node.state = self.trainer.train(
+            node.state, node.train_x, node.train_y, node.rng,
+            node_id=node.node_id,
+        )
+        node.updates_performed += 1
+
+
+class BaseGossipProtocol(GossipProtocol):
+    """Algorithm 1: push to one random neighbor; merge+train on receive.
+
+    ``merge_weight`` is the weight given to the INCOMING model during
+    the pairwise merge. The paper's Algorithm 1 uses 0.5 (plain
+    averaging); values below 0.5 reproduce the *partial* aggregation of
+    Pasquini et al. [62], which Section 6.2 argues mixes worse and
+    leaks more — exercised by the aggregation ablation benchmark.
+    """
+
+    name = "base_gossip"
+
+    def __init__(
+        self,
+        trainer: LocalTrainer,
+        max_updates_per_node: int | None = None,
+        merge_weight: float = 0.5,
+    ):
+        super().__init__(trainer, max_updates_per_node)
+        if not 0.0 < merge_weight <= 1.0:
+            raise ValueError("merge_weight must be in (0, 1]")
+        self.merge_weight = merge_weight
+
+    def on_wake(self, node: GossipNode, view: set[int], send: SendFn) -> None:
+        if not view:
+            return
+        neighbor = int(node.rng.choice(sorted(view)))
+        send(node.node_id, neighbor, node.snapshot())
+
+    def on_receive(self, node: GossipNode, payload: State) -> None:
+        node.models_received += 1
+        node.state = average_states(
+            [node.state, payload],
+            weights=[1.0 - self.merge_weight, self.merge_weight],
+        )
+        self._local_update(node)
+
+
+class PartialMergeGossipProtocol(BaseGossipProtocol):
+    """Base Gossip with self-biased (partial) aggregation.
+
+    Keeps 75% of the local model on each merge — the weaker-mixing
+    aggregation style the paper contrasts against (Section 6.2).
+    """
+
+    name = "base_gossip_partial"
+
+    def __init__(
+        self, trainer: LocalTrainer, max_updates_per_node: int | None = None
+    ):
+        super().__init__(trainer, max_updates_per_node, merge_weight=0.25)
+
+
+class SAMOProtocol(GossipProtocol):
+    """Algorithm 2: buffer on receive; merge-once and push-all on wake."""
+
+    name = "samo"
+
+    def on_wake(self, node: GossipNode, view: set[int], send: SendFn) -> None:
+        inbox = node.drain_inbox()
+        if inbox:  # |Theta_i| > 1 counting the node's own model
+            node.state = average_states([node.state] + inbox)
+            self._local_update(node)
+        for neighbor in sorted(view):
+            send(node.node_id, neighbor, node.snapshot())
+
+    def on_receive(self, node: GossipNode, payload: State) -> None:
+        node.receive(payload)
+
+
+def make_protocol(name: str, trainer: LocalTrainer) -> GossipProtocol:
+    """Protocol factory keyed by the names used in experiment configs."""
+    protocols: dict[str, type[GossipProtocol]] = {
+        "base_gossip": BaseGossipProtocol,
+        "base_gossip_partial": PartialMergeGossipProtocol,
+        "samo": SAMOProtocol,
+    }
+    if name not in protocols:
+        raise ValueError(f"unknown protocol {name!r}; choose from {sorted(protocols)}")
+    return protocols[name](trainer)

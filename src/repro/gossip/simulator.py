@@ -1,0 +1,212 @@
+"""Discrete-event gossip simulator.
+
+Drives the tick clock, the peer-sampling service and the protocol
+hooks. Message delivery is instantaneous (a send at tick t is received
+at tick t), matching the GossiPy-style simulation used by the paper.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.data.partition import NodeSplit
+from repro.gossip.clock import TickClock, WakeSchedule
+from repro.gossip.messages import MessageLog, ModelMessage
+from repro.gossip.node import GossipNode
+from repro.gossip.protocols import GossipProtocol
+from repro.graph.peer_sampling import PeerSampler, make_sampler_by_name
+from repro.nn.serialize import State
+
+__all__ = ["SimulatorConfig", "GossipSimulator"]
+
+# round_callback(round_index, simulator) -> None
+RoundCallback = Callable[[int, "GossipSimulator"], None]
+
+
+@dataclass(frozen=True)
+class SimulatorConfig:
+    """Static description of one gossip run's communication layer.
+
+    ``sampler`` selects the peer-sampling service by name ("static",
+    "peerswap", "fresh"); when None it is derived from ``dynamic`` for
+    backward compatibility with the paper's two-setting grid.
+
+    Failure injection (both default off):
+
+    * ``drop_prob`` — every message is independently lost with this
+      probability (lossy links);
+    * ``failure_prob`` — a waking node is unavailable with this
+      probability and skips the wake entirely (crash-recovery churn).
+
+    ``delay_ticks``/``delay_jitter`` model network latency: a message
+    sent at tick t is delivered at ``t + delay_ticks + U{0..jitter}``.
+    The default 0 reproduces the paper's instantaneous exchanges.
+    """
+
+    n_nodes: int = 16
+    view_size: int = 2
+    dynamic: bool = False
+    sampler: str | None = None
+    ticks_per_round: int = 100
+    wake_mu: float = 100.0
+    wake_sigma: float = 10.0
+    drop_prob: float = 0.0
+    failure_prob: float = 0.0
+    delay_ticks: int = 0
+    delay_jitter: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_nodes <= 1:
+            raise ValueError("need at least two nodes")
+        if not 0 < self.view_size < self.n_nodes:
+            raise ValueError("view_size must be in (0, n_nodes)")
+        if not 0.0 <= self.drop_prob < 1.0:
+            raise ValueError("drop_prob must be in [0, 1)")
+        if not 0.0 <= self.failure_prob < 1.0:
+            raise ValueError("failure_prob must be in [0, 1)")
+        if self.delay_ticks < 0 or self.delay_jitter < 0:
+            raise ValueError("delays must be non-negative")
+
+    @property
+    def sampler_name(self) -> str:
+        if self.sampler is not None:
+            return self.sampler
+        return "peerswap" if self.dynamic else "static"
+
+
+class GossipSimulator:
+    """Owns nodes, topology, clock and message log for one run."""
+
+    def __init__(
+        self,
+        config: SimulatorConfig,
+        protocol: GossipProtocol,
+        splits: list[NodeSplit],
+        initial_state: State,
+        keep_payloads: bool = False,
+    ):
+        if len(splits) != config.n_nodes:
+            raise ValueError(
+                f"got {len(splits)} data splits for {config.n_nodes} nodes"
+            )
+        self.config = config
+        self.protocol = protocol
+        self.rng = np.random.default_rng(config.seed)
+        self.sampler: PeerSampler = make_sampler_by_name(
+            config.sampler_name, config.n_nodes, config.view_size, self.rng
+        )
+        self.messages_dropped = 0
+        self.wakes_skipped = 0
+        # In-flight messages as a min-heap of (deliver_tick, seq, ...);
+        # the sequence number breaks ties FIFO.
+        self._in_flight: list[tuple[int, int, int, int, State]] = []
+        self._send_seq = 0
+        self.clock = TickClock(config.ticks_per_round)
+        self.schedule = WakeSchedule(
+            config.n_nodes, self.rng, mu=config.wake_mu, sigma=config.wake_sigma
+        )
+        self.log = MessageLog(keep_payloads=keep_payloads)
+        self.nodes = [
+            GossipNode(
+                node_id=split.node_id,
+                state={k: v.copy() for k, v in initial_state.items()},
+                split=split,
+                rng=np.random.default_rng(
+                    self.rng.integers(0, 2**63 - 1)
+                ),
+            )
+            for split in splits
+        ]
+
+    # -- messaging ------------------------------------------------------
+
+    def _send(self, sender: int, receiver: int, payload: State) -> None:
+        if receiver == sender:
+            raise ValueError(f"node {sender} attempted to message itself")
+        if self.config.drop_prob and self.rng.random() < self.config.drop_prob:
+            self.messages_dropped += 1
+            return
+        self.log.record(
+            ModelMessage(
+                sender=sender,
+                receiver=receiver,
+                tick=self.clock.tick,
+                payload=payload,
+            )
+        )
+        delay = self.config.delay_ticks
+        if self.config.delay_jitter:
+            delay += int(self.rng.integers(0, self.config.delay_jitter + 1))
+        if delay == 0:
+            self.protocol.on_receive(self.nodes[receiver], payload)
+        else:
+            heapq.heappush(
+                self._in_flight,
+                (self.clock.tick + delay, self._send_seq, sender, receiver, payload),
+            )
+            self._send_seq += 1
+
+    def _deliver_due(self) -> None:
+        """Deliver every in-flight message whose time has come."""
+        while self._in_flight and self._in_flight[0][0] <= self.clock.tick:
+            _, _, _, receiver, payload = heapq.heappop(self._in_flight)
+            self.protocol.on_receive(self.nodes[receiver], payload)
+
+    @property
+    def messages_in_flight(self) -> int:
+        return len(self._in_flight)
+
+    # -- main loop ------------------------------------------------------
+
+    def run_tick(self) -> None:
+        """Process one tick: deliver due messages, wake nodes in random
+        order, then advance the clock."""
+        self._deliver_due()
+        waking = self.schedule.waking_nodes(self.clock.tick)
+        if waking:
+            self.rng.shuffle(waking)
+            for node_id in waking:
+                node_id = int(node_id)
+                if (
+                    self.config.failure_prob
+                    and self.rng.random() < self.config.failure_prob
+                ):
+                    self.wakes_skipped += 1
+                    continue
+                # PeerSwap happens "before doing anything else" (S2.4).
+                self.sampler.on_wake(node_id)
+                self.protocol.on_wake(
+                    self.nodes[node_id],
+                    self.sampler.view(node_id),
+                    self._send,
+                )
+        self.clock.advance()
+
+    def run_round(self) -> None:
+        """Advance exactly one communication round."""
+        target = self.clock.tick + self.config.ticks_per_round
+        while self.clock.tick < target:
+            self.run_tick()
+
+    def run(self, rounds: int, round_callback: RoundCallback | None = None) -> None:
+        """Run ``rounds`` communication rounds, invoking the callback
+        (e.g. the omniscient attacker) at each round boundary."""
+        for round_index in range(rounds):
+            self.run_round()
+            if round_callback is not None:
+                round_callback(round_index, self)
+
+    # -- introspection ----------------------------------------------------
+
+    def states(self) -> list[State]:
+        """Snapshot of every node's current model (attacker's view)."""
+        return [node.snapshot() for node in self.nodes]
+
+    @property
+    def messages_sent(self) -> int:
+        return self.log.count

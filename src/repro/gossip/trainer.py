@@ -1,0 +1,158 @@
+"""Local update steps (Equation 2), with optional DP-SGD.
+
+Nodes own model *states* (plain dicts); a single shared workspace
+:class:`~repro.nn.layers.Module` is loaded with a node's state, trained
+on the node's local split, and the resulting state is handed back. This
+keeps memory bounded when simulating many nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.layers import Module
+from repro.nn.loss import CrossEntropyLoss
+from repro.nn.optim import SGD
+from repro.nn.serialize import State, get_state, set_state
+from repro.privacy.dp import DPSGDConfig, clip_per_sample, noisy_gradient
+
+__all__ = ["TrainerConfig", "LocalTrainer"]
+
+
+@dataclass(frozen=True)
+class TrainerConfig:
+    """Hyperparameters of one node's local update (Table 2 columns).
+
+    ``label_smoothing`` and ``lr_decay`` implement the paper's Section
+    5 recommendation against *early overfitting* ("regularization,
+    dynamic learning rates ... to limit the persistent impact of
+    initial vulnerabilities"): label smoothing regularizes each local
+    loss; ``lr_decay`` multiplies the effective learning rate by
+    ``lr_decay ** session`` for successive local-update sessions of a
+    node, cooling training down over time. Both default off, matching
+    Table 2.
+    """
+
+    learning_rate: float = 0.01
+    momentum: float = 0.0
+    weight_decay: float = 5e-4
+    local_epochs: int = 3
+    batch_size: int = 32
+    label_smoothing: float = 0.0
+    lr_decay: float = 1.0
+    dp: DPSGDConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.local_epochs < 0:
+            raise ValueError("local_epochs must be non-negative")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if not 0.0 <= self.label_smoothing < 1.0:
+            raise ValueError("label_smoothing must be in [0, 1)")
+        if not 0.0 < self.lr_decay <= 1.0:
+            raise ValueError("lr_decay must be in (0, 1]")
+
+
+class LocalTrainer:
+    """Runs local SGD epochs on a shared workspace model."""
+
+    def __init__(self, model: Module, config: TrainerConfig):
+        self.model = model
+        self.config = config
+        self.loss = CrossEntropyLoss(label_smoothing=config.label_smoothing)
+        self.steps_taken = 0
+        self._sessions: dict[int, int] = {}
+
+    def train(
+        self,
+        state: State,
+        x: np.ndarray,
+        y: np.ndarray,
+        rng: np.random.Generator,
+        node_id: int | None = None,
+    ) -> State:
+        """Train ``state`` for ``local_epochs`` epochs on (x, y).
+
+        Returns the updated state; the input dict is not mutated.
+        Momentum buffers are fresh per call: after gossip aggregation a
+        stale velocity has no meaning, so each local session starts
+        clean (see DESIGN.md). ``node_id`` keys the per-node session
+        counter used by ``lr_decay``.
+        """
+        if x.shape[0] == 0:
+            return dict(state)
+        # Recreate the loss in case config was replaced post-init
+        # (DP installation swaps the config dataclass).
+        if self.loss.label_smoothing != self.config.label_smoothing:
+            self.loss = CrossEntropyLoss(
+                label_smoothing=self.config.label_smoothing
+            )
+        session = self._sessions.get(node_id, 0) if node_id is not None else 0
+        if node_id is not None:
+            self._sessions[node_id] = session + 1
+        lr = self.config.learning_rate * (self.config.lr_decay**session)
+        set_state(self.model, state)
+        self.model.train()
+        optimizer = SGD(
+            self.model.parameters(),
+            lr=lr,
+            momentum=self.config.momentum,
+            weight_decay=self.config.weight_decay,
+        )
+        n = x.shape[0]
+        for _ in range(self.config.local_epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.config.batch_size):
+                batch = order[start : start + self.config.batch_size]
+                if self.config.dp is None:
+                    self._sgd_step(optimizer, x[batch], y[batch])
+                else:
+                    self._dp_sgd_step(optimizer, x[batch], y[batch], rng)
+                self.steps_taken += 1
+        return get_state(self.model)
+
+    def _sgd_step(self, optimizer: SGD, xb: np.ndarray, yb: np.ndarray) -> None:
+        optimizer.zero_grad()
+        logits = self.model.forward(xb)
+        self.loss.forward(logits, yb)
+        self.model.backward(self.loss.backward())
+        optimizer.step()
+
+    def _dp_sgd_step(
+        self,
+        optimizer: SGD,
+        xb: np.ndarray,
+        yb: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        """DP-SGD: per-sample clipped gradients, summed, noised, averaged.
+
+        Per-sample gradients are obtained by running each sample as its
+        own microbatch — exact, if slower than functorch-style
+        vectorization.
+        """
+        assert self.config.dp is not None
+        params = self.model.parameters()
+        summed: list[np.ndarray] | None = None
+        for i in range(xb.shape[0]):
+            optimizer.zero_grad()
+            logits = self.model.forward(xb[i : i + 1])
+            self.loss.forward(logits, yb[i : i + 1])
+            self.model.backward(self.loss.backward())
+            grads = [p.grad.copy() for p in params]
+            clipped, _ = clip_per_sample(grads, self.config.dp.clip_norm)
+            if summed is None:
+                summed = clipped
+            else:
+                summed = [acc + g for acc, g in zip(summed, clipped)]
+        if summed is None:
+            return
+        averaged = noisy_gradient(summed, xb.shape[0], self.config.dp, rng)
+        optimizer.zero_grad()
+        for param, grad in zip(params, averaged):
+            param.accumulate(grad)
+        optimizer.step()

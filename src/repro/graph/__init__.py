@@ -1,0 +1,66 @@
+"""Communication graphs: topology generation, peer sampling, mixing.
+
+Implements the paper's k-regular random graphs (Section 3.1), the
+PeerSwap dynamic peer-sampling protocol (Section 2.4), and the spectral
+mixing analysis of Section 4 / Figure 10.
+"""
+
+from repro.graph.topology import (
+    random_regular_graph,
+    views_from_graph,
+    graph_from_views,
+    validate_k_regular,
+    is_connected,
+)
+from repro.graph.peer_sampling import (
+    PeerSampler,
+    StaticPeerSampler,
+    PeerSwapSampler,
+    FreshGraphSampler,
+    SAMPLERS,
+    make_sampler,
+    make_sampler_by_name,
+)
+from repro.graph.theory import (
+    ramanujan_lambda2,
+    predicted_static_mixing_time,
+    empirical_lambda2,
+    spectral_gap,
+)
+from repro.graph.mixing import (
+    mixing_matrix,
+    mixing_matrix_from_views,
+    lambda2,
+    consensus_distance,
+    simulate_lambda2_decay,
+    mixing_time,
+    simulate_consensus,
+    MixingDecayResult,
+)
+
+__all__ = [
+    "random_regular_graph",
+    "views_from_graph",
+    "graph_from_views",
+    "validate_k_regular",
+    "is_connected",
+    "PeerSampler",
+    "StaticPeerSampler",
+    "PeerSwapSampler",
+    "FreshGraphSampler",
+    "SAMPLERS",
+    "make_sampler",
+    "make_sampler_by_name",
+    "mixing_matrix",
+    "mixing_matrix_from_views",
+    "lambda2",
+    "consensus_distance",
+    "simulate_lambda2_decay",
+    "mixing_time",
+    "simulate_consensus",
+    "MixingDecayResult",
+    "ramanujan_lambda2",
+    "predicted_static_mixing_time",
+    "empirical_lambda2",
+    "spectral_gap",
+]

@@ -1,0 +1,190 @@
+"""Random peer-sampling services (Section 2.4 of the paper).
+
+Two samplers share an interface:
+
+* :class:`StaticPeerSampler` — the initial random k-regular graph never
+  changes.
+* :class:`PeerSwapSampler` — PeerSwap (Guerraoui et al., SRDS 2024): on
+  wake-up a node exchanges its *position in the graph* with a uniformly
+  random neighbor, keeping the graph k-regular while randomizing it
+  over time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.topology import (
+    Views,
+    random_regular_graph,
+    validate_k_regular,
+    views_from_graph,
+)
+
+__all__ = [
+    "PeerSampler",
+    "StaticPeerSampler",
+    "PeerSwapSampler",
+    "FreshGraphSampler",
+    "SAMPLERS",
+    "make_sampler",
+    "make_sampler_by_name",
+]
+
+
+class PeerSampler:
+    """Interface: maintains per-node views over time."""
+
+    def __init__(self, n_nodes: int, k: int, rng: np.random.Generator):
+        if k >= n_nodes:
+            raise ValueError("view size k must be smaller than the number of nodes")
+        self.n_nodes = n_nodes
+        self.k = k
+        graph = random_regular_graph(n_nodes, k, rng)
+        self._views: Views = views_from_graph(graph)
+        self._rng = rng
+
+    def view(self, node_id: int) -> set[int]:
+        """Current view (neighbor set) of ``node_id``."""
+        return set(self._views[node_id])
+
+    def views(self) -> Views:
+        """Copies of all views, indexed by node id."""
+        return [set(v) for v in self._views]
+
+    def on_wake(self, node_id: int) -> None:
+        """Hook called by the simulator when ``node_id`` wakes up."""
+        raise NotImplementedError
+
+    @property
+    def dynamic(self) -> bool:
+        raise NotImplementedError
+
+
+class StaticPeerSampler(PeerSampler):
+    """Views are frozen at the initial random k-regular graph."""
+
+    def on_wake(self, node_id: int) -> None:
+        pass
+
+    @property
+    def dynamic(self) -> bool:
+        return False
+
+
+class PeerSwapSampler(PeerSampler):
+    """PeerSwap: a waking node swaps graph positions with a neighbor.
+
+    Implements the view updates of Section 2.4 exactly:
+
+    * ``N_i <- (N_j \\ {i}) | {j}`` and symmetrically for ``j``;
+    * every other neighbor of old-``i`` replaces ``i`` by ``j`` and
+      every other neighbor of old-``j`` replaces ``j`` by ``i``.
+
+    The result is the same k-regular graph with nodes ``i`` and ``j``
+    relabeled, so regularity is invariant.
+    """
+
+    def on_wake(self, node_id: int) -> None:
+        view = self._views[node_id]
+        if not view:
+            return
+        j = int(self._rng.choice(sorted(view)))
+        self.swap(node_id, j)
+
+    def swap(self, i: int, j: int) -> None:
+        """Swap the graph positions of nodes ``i`` and ``j``."""
+        if i == j:
+            return
+        old_i = set(self._views[i])
+        old_j = set(self._views[j])
+        new_i = (old_j - {i}) | ({j} if i in old_j else set())
+        new_j = (old_i - {j}) | ({i} if j in old_i else set())
+        # When i and j are neighbors the displaced edge between their
+        # positions stays an edge between them: i in old_j implies the
+        # swapped i keeps j as a neighbor (handled above).
+        self._views[i] = new_i
+        self._views[j] = new_j
+        for k in old_i - {j, i}:
+            if k != i and k != j:
+                self._views[k].discard(i)
+                self._views[k].add(j)
+        for k in old_j - {i, j}:
+            if k != i and k != j:
+                self._views[k].discard(j)
+                self._views[k].add(i)
+        # Common neighbors of old i and j end up with both (they were
+        # neighbors of both positions before, and still are after).
+        for k in (old_i & old_j) - {i, j}:
+            self._views[k].add(i)
+            self._views[k].add(j)
+
+    def validate(self) -> None:
+        """Check the k-regular invariant (used in tests)."""
+        validate_k_regular(self._views, self.k)
+
+    @property
+    def dynamic(self) -> bool:
+        return True
+
+
+class FreshGraphSampler(PeerSampler):
+    """Resample an entirely fresh random k-regular graph periodically.
+
+    This is the randomized-communication model of Epidemic Learning
+    (De Vos et al., cited in Section 6.4): rather than evolving the
+    graph locally like PeerSwap, the topology is redrawn globally every
+    ``resample_every`` wake events (default: once per ``n`` wakes,
+    i.e. roughly once per communication round). Used in ablations to
+    separate "any dynamics" from "PeerSwap specifically".
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        k: int,
+        rng: np.random.Generator,
+        resample_every: int | None = None,
+    ):
+        super().__init__(n_nodes, k, rng)
+        if resample_every is None:
+            resample_every = n_nodes
+        if resample_every <= 0:
+            raise ValueError("resample_every must be positive")
+        self.resample_every = resample_every
+        self._wakes_since_resample = 0
+
+    def on_wake(self, node_id: int) -> None:
+        self._wakes_since_resample += 1
+        if self._wakes_since_resample >= self.resample_every:
+            graph = random_regular_graph(self.n_nodes, self.k, self._rng)
+            self._views = views_from_graph(graph)
+            self._wakes_since_resample = 0
+
+    @property
+    def dynamic(self) -> bool:
+        return True
+
+
+SAMPLERS = {
+    "static": StaticPeerSampler,
+    "peerswap": PeerSwapSampler,
+    "fresh": FreshGraphSampler,
+}
+
+
+def make_sampler(
+    dynamic: bool, n_nodes: int, k: int, rng: np.random.Generator
+) -> PeerSampler:
+    """Build the sampler matching the paper's static/dynamic toggle."""
+    cls = PeerSwapSampler if dynamic else StaticPeerSampler
+    return cls(n_nodes, k, rng)
+
+
+def make_sampler_by_name(
+    name: str, n_nodes: int, k: int, rng: np.random.Generator
+) -> PeerSampler:
+    """Build a sampler by registry name (static/peerswap/fresh)."""
+    if name not in SAMPLERS:
+        raise ValueError(f"unknown sampler {name!r}; choose from {sorted(SAMPLERS)}")
+    return SAMPLERS[name](n_nodes, k, rng)

@@ -1,0 +1,72 @@
+"""Closed-form spectral predictions for k-regular gossip.
+
+Section 4 of the paper analyses mixing empirically; this module adds
+the standard random-graph theory the empirics should (and do) match:
+
+* For a random k-regular graph (k >= 3), Friedman's theorem says the
+  second-largest adjacency eigenvalue concentrates near the Ramanujan
+  bound ``2 sqrt(k - 1)``; the corresponding lazy mixing matrix
+  ``W = (A + I) / (k + 1)`` then has
+  ``lambda2(W) ~ (2 sqrt(k - 1) + 1) / (k + 1)``.
+* The static setting decays geometrically, so the epsilon-mixing time
+  is ``log(eps) / log(lambda2(W))``.
+
+These predictions let tests validate the simulator against theory and
+give users a fast estimate without running the simulation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.graph.mixing import lambda2, mixing_matrix
+
+__all__ = [
+    "ramanujan_lambda2",
+    "predicted_static_mixing_time",
+    "empirical_lambda2",
+    "spectral_gap",
+]
+
+
+def ramanujan_lambda2(k: int) -> float:
+    """Predicted lambda2 of the lazy mixing matrix of a random
+    k-regular graph (Friedman / Alon-Boppana regime).
+
+    The adjacency spectrum's second eigenvalue is ~2 sqrt(k-1); adding
+    the self-loop and normalizing by (k+1) gives
+    ``(2 sqrt(k-1) + 1) / (k+1)``. For k = 2 (a union of cycles) the
+    bound degenerates; we return the cycle value
+    ``(2 cos(2 pi / n) + 1) / 3 -> 1`` as n grows, approximated by 1.
+    """
+    if k < 2:
+        raise ValueError("k must be at least 2")
+    if k == 2:
+        return 1.0  # cycles: lambda2 -> 1 as n -> inf
+    return (2.0 * math.sqrt(k - 1) + 1.0) / (k + 1)
+
+
+def predicted_static_mixing_time(k: int, epsilon: float) -> float:
+    """Iterations for lambda2(W)^T < epsilon under the static setting."""
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError("epsilon must be in (0, 1)")
+    lam = ramanujan_lambda2(k)
+    if lam >= 1.0:
+        return float("inf")
+    return math.log(epsilon) / math.log(lam)
+
+
+def empirical_lambda2(
+    n: int, k: int, samples: int = 10, rng: np.random.Generator | None = None
+) -> tuple[float, float]:
+    """Mean and std of lambda2(W) over sampled random k-regular graphs."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    values = [lambda2(mixing_matrix(n, k, rng)) for _ in range(samples)]
+    return float(np.mean(values)), float(np.std(values))
+
+
+def spectral_gap(w: np.ndarray) -> float:
+    """``1 - lambda2(w)`` — larger gap means faster mixing."""
+    return 1.0 - lambda2(w)

@@ -1,0 +1,89 @@
+"""Random k-regular graph construction and validation.
+
+The paper connects ``n`` nodes in an initial random k-regular graph
+with view size k in {2, 5, 10, 25}. We generate graphs with networkx's
+pairing-model generator and re-sample until connected, then convert
+between adjacency structures and per-node *views* (neighbor sets).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+__all__ = [
+    "random_regular_graph",
+    "views_from_graph",
+    "graph_from_views",
+    "validate_k_regular",
+    "is_connected",
+]
+
+Views = list[set[int]]
+
+
+def random_regular_graph(
+    n: int, k: int, rng: np.random.Generator, require_connected: bool = True,
+    max_retries: int = 200,
+) -> nx.Graph:
+    """Sample a random k-regular graph on ``n`` nodes.
+
+    Raises ``ValueError`` for infeasible (n, k) pairs (k >= n or n*k
+    odd) and retries sampling until the graph is connected when
+    ``require_connected`` is set (always the case in the paper, which
+    needs information to flow between all peers).
+    """
+    if k <= 0 or n <= 0:
+        raise ValueError("n and k must be positive")
+    if k >= n:
+        raise ValueError(f"k-regular graph needs k < n, got k={k}, n={n}")
+    if (n * k) % 2:
+        raise ValueError(f"n * k must be even, got n={n}, k={k}")
+    for _ in range(max_retries):
+        seed = int(rng.integers(0, 2**31 - 1))
+        graph = nx.random_regular_graph(k, n, seed=seed)
+        if not require_connected or nx.is_connected(graph):
+            return graph
+    raise RuntimeError(
+        f"failed to sample a connected {k}-regular graph on {n} nodes "
+        f"after {max_retries} attempts"
+    )
+
+
+def views_from_graph(graph: nx.Graph) -> Views:
+    """Per-node neighbor sets, indexed by node id 0..n-1."""
+    n = graph.number_of_nodes()
+    if set(graph.nodes) != set(range(n)):
+        raise ValueError("graph nodes must be labeled 0..n-1")
+    return [set(graph.neighbors(i)) for i in range(n)]
+
+
+def graph_from_views(views: Views) -> nx.Graph:
+    """Build an undirected graph from symmetric neighbor sets."""
+    n = len(views)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    for i, view in enumerate(views):
+        for j in view:
+            if not 0 <= j < n:
+                raise ValueError(f"node {i} has out-of-range neighbor {j}")
+            if i == j:
+                raise ValueError(f"node {i} has a self-loop")
+            if i not in views[j]:
+                raise ValueError(f"views are asymmetric: {i} -> {j} but not back")
+            graph.add_edge(i, j)
+    return graph
+
+
+def validate_k_regular(views: Views, k: int) -> None:
+    """Assert that views describe a simple undirected k-regular graph."""
+    graph = graph_from_views(views)  # raises on asymmetry / self-loops
+    degrees = [deg for _, deg in graph.degree()]
+    bad = [i for i, deg in enumerate(degrees) if deg != k]
+    if bad:
+        raise ValueError(f"nodes {bad[:10]} do not have degree {k}")
+
+
+def is_connected(views: Views) -> bool:
+    """True when the view graph is connected."""
+    return nx.is_connected(graph_from_views(views))

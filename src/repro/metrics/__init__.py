@@ -1,0 +1,20 @@
+"""Evaluation metrics and per-round record containers (Section 3.2)."""
+
+from repro.metrics.evaluation import (
+    accuracy,
+    predict_proba,
+    generalization_error,
+    evaluate_model,
+    ModelEvaluation,
+)
+from repro.metrics.records import RoundRecord, RunResult
+
+__all__ = [
+    "accuracy",
+    "predict_proba",
+    "generalization_error",
+    "evaluate_model",
+    "ModelEvaluation",
+    "RoundRecord",
+    "RunResult",
+]

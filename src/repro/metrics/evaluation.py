@@ -1,0 +1,118 @@
+"""Model evaluation: accuracy, probabilities, generalization error.
+
+Implements the metrics of Section 3.2: top-1 accuracy on the global
+test set (Equation 5) and the generalization error as local-train minus
+local-test accuracy (Equation 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import Module
+
+__all__ = [
+    "predict_proba",
+    "accuracy",
+    "generalization_error",
+    "ModelEvaluation",
+    "evaluate_model",
+]
+
+
+def predict_proba(
+    model: Module, x: np.ndarray, batch_size: int = 256
+) -> np.ndarray:
+    """Softmax probabilities in eval mode, batched to bound memory."""
+    was_training = model.training
+    model.eval()
+    try:
+        outputs = []
+        for start in range(0, x.shape[0], batch_size):
+            logits = model.forward(x[start : start + batch_size])
+            outputs.append(F.softmax(logits, axis=1))
+        return np.concatenate(outputs) if outputs else np.empty((0, 0))
+    finally:
+        if was_training:
+            model.train()
+
+
+def accuracy(
+    model: Module, x: np.ndarray, y: np.ndarray, batch_size: int = 256
+) -> float:
+    """Top-1 accuracy (Equation 5)."""
+    if x.shape[0] == 0:
+        raise ValueError("cannot compute accuracy on an empty set")
+    probs = predict_proba(model, x, batch_size)
+    return float((probs.argmax(axis=1) == np.asarray(y)).mean())
+
+
+def generalization_error(
+    model: Module,
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    x_test: np.ndarray,
+    y_test: np.ndarray,
+) -> float:
+    """Local train minus local test accuracy (Equation 8)."""
+    return accuracy(model, x_train, y_train) - accuracy(model, x_test, y_test)
+
+
+@dataclass
+class ModelEvaluation:
+    """All Section 3.2 metrics for one node's model at one round."""
+
+    node_id: int
+    global_test_accuracy: float
+    local_train_accuracy: float
+    local_test_accuracy: float
+    mia_accuracy: float
+    mia_tpr_at_1_fpr: float
+    mia_auc: float
+
+    @property
+    def generalization_error(self) -> float:
+        return self.local_train_accuracy - self.local_test_accuracy
+
+
+def evaluate_model(
+    model: Module,
+    node_id: int,
+    x_global_test: np.ndarray,
+    y_global_test: np.ndarray,
+    x_local_train: np.ndarray,
+    y_local_train: np.ndarray,
+    x_local_test: np.ndarray,
+    y_local_test: np.ndarray,
+    rng: np.random.Generator | None = None,
+) -> ModelEvaluation:
+    """Evaluate utility and MIA vulnerability of one node's model.
+
+    The attack set is built from the node's local train (members) and
+    local test (non-members) MPE scores, balanced as in the paper.
+    """
+    from repro.privacy.mia import build_attack_data, mia_report, mpe_scores
+
+    probs_train = predict_proba(model, x_local_train)
+    probs_test = predict_proba(model, x_local_test)
+    member_scores = mpe_scores(probs_train, y_local_train)
+    nonmember_scores = mpe_scores(probs_test, y_local_test)
+    data = build_attack_data(member_scores, nonmember_scores, rng=rng)
+    report = mia_report(data)
+    probs_global = predict_proba(model, x_global_test)
+    return ModelEvaluation(
+        node_id=node_id,
+        global_test_accuracy=float(
+            (probs_global.argmax(axis=1) == y_global_test).mean()
+        ),
+        local_train_accuracy=float(
+            (probs_train.argmax(axis=1) == y_local_train).mean()
+        ),
+        local_test_accuracy=float((probs_test.argmax(axis=1) == y_local_test).mean()),
+        mia_accuracy=report.accuracy,
+        mia_tpr_at_1_fpr=report.tpr_at_1_fpr,
+        mia_auc=report.auc,
+    )

@@ -1,0 +1,129 @@
+"""Per-round records and run-level aggregation.
+
+"At the end of each round of communication, we record measurements on
+the model of each node and subsequently report the mean value
+aggregated across the nodes" (Section 3.2). :class:`RoundRecord` holds
+those node-mean values; :class:`RunResult` collects the whole run and
+exposes the series the figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.metrics.evaluation import ModelEvaluation
+
+__all__ = ["RoundRecord", "RunResult"]
+
+
+@dataclass
+class RoundRecord:
+    """Node-averaged metrics at the end of one communication round."""
+
+    round_index: int
+    global_test_accuracy: float
+    local_train_accuracy: float
+    local_test_accuracy: float
+    mia_accuracy: float
+    mia_tpr_at_1_fpr: float
+    mia_auc: float
+    max_mia_tpr_at_1_fpr: float = 0.0
+    canary_tpr_at_1_fpr: float | None = None
+    messages_sent: int = 0
+    epsilon: float | None = None
+    # Mean L2 distance of node models to their average — the empirical
+    # counterpart of Section 4's consensus distance (Eq. 11), letting
+    # runs correlate mixing quality with MIA vulnerability directly.
+    model_spread: float = 0.0
+
+    @property
+    def generalization_error(self) -> float:
+        return self.local_train_accuracy - self.local_test_accuracy
+
+    @classmethod
+    def from_evaluations(
+        cls,
+        round_index: int,
+        evaluations: list[ModelEvaluation],
+        messages_sent: int = 0,
+        canary_tpr_at_1_fpr: float | None = None,
+        epsilon: float | None = None,
+        model_spread: float = 0.0,
+    ) -> "RoundRecord":
+        if not evaluations:
+            raise ValueError("need at least one node evaluation")
+        return cls(
+            round_index=round_index,
+            global_test_accuracy=float(
+                np.mean([e.global_test_accuracy for e in evaluations])
+            ),
+            local_train_accuracy=float(
+                np.mean([e.local_train_accuracy for e in evaluations])
+            ),
+            local_test_accuracy=float(
+                np.mean([e.local_test_accuracy for e in evaluations])
+            ),
+            mia_accuracy=float(np.mean([e.mia_accuracy for e in evaluations])),
+            mia_tpr_at_1_fpr=float(
+                np.mean([e.mia_tpr_at_1_fpr for e in evaluations])
+            ),
+            mia_auc=float(np.mean([e.mia_auc for e in evaluations])),
+            max_mia_tpr_at_1_fpr=float(
+                np.max([e.mia_tpr_at_1_fpr for e in evaluations])
+            ),
+            messages_sent=messages_sent,
+            canary_tpr_at_1_fpr=canary_tpr_at_1_fpr,
+            epsilon=epsilon,
+            model_spread=model_spread,
+        )
+
+
+@dataclass
+class RunResult:
+    """All rounds of one experiment, plus run-level metadata."""
+
+    config_name: str
+    rounds: list[RoundRecord] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    def append(self, record: RoundRecord) -> None:
+        self.rounds.append(record)
+
+    def series(self, attr: str) -> np.ndarray:
+        """Extract one metric as a numpy series over rounds."""
+        values = [getattr(r, attr) for r in self.rounds]
+        return np.array(
+            [np.nan if v is None else v for v in values], dtype=np.float64
+        )
+
+    @property
+    def max_test_accuracy(self) -> float:
+        return float(self.series("global_test_accuracy").max())
+
+    @property
+    def max_mia_accuracy(self) -> float:
+        return float(self.series("mia_accuracy").max())
+
+    @property
+    def max_mia_tpr(self) -> float:
+        return float(self.series("mia_tpr_at_1_fpr").max())
+
+    @property
+    def total_messages(self) -> int:
+        return int(sum(r.messages_sent for r in self.rounds))
+
+    def summary(self) -> dict:
+        """Headline numbers used by the benchmark harness tables."""
+        return {
+            "config": self.config_name,
+            "rounds": len(self.rounds),
+            "max_test_accuracy": self.max_test_accuracy,
+            "max_mia_accuracy": self.max_mia_accuracy,
+            "max_mia_tpr_at_1_fpr": self.max_mia_tpr,
+            "final_generalization_error": (
+                self.rounds[-1].generalization_error if self.rounds else float("nan")
+            ),
+            "total_messages": self.total_messages,
+        }

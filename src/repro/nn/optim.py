@@ -1,0 +1,96 @@
+"""Optimizers and learning-rate schedules.
+
+Only SGD variants are needed: Table 2 of the paper trains every model
+with SGD, momentum in {0, 0.9} and weight decay 5e-4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Parameter
+
+__all__ = ["SGD", "ConstantLR", "StepLR"]
+
+
+class SGD:
+    """Stochastic gradient descent with momentum and weight decay.
+
+    The update matches PyTorch's convention: weight decay is added to
+    the gradient, momentum buffers accumulate the decayed gradient, and
+    (optionally) Nesterov lookahead is applied.
+    """
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if momentum < 0:
+            raise ValueError(f"momentum must be non-negative, got {momentum}")
+        if nesterov and momentum == 0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.params = list(params)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        for i, param in enumerate(self.params):
+            if not param.requires_grad:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                buf = self._velocity.get(i)
+                if buf is None:
+                    buf = grad.copy()
+                else:
+                    buf = self.momentum * buf + grad
+                self._velocity[i] = buf
+                grad = grad + self.momentum * buf if self.nesterov else buf
+            param.data -= self.lr * grad
+
+    def reset_state(self) -> None:
+        """Drop momentum buffers (used after a model is overwritten by
+        gossip aggregation, where stale velocity is meaningless)."""
+        self._velocity.clear()
+
+
+class ConstantLR:
+    """Schedule that keeps the learning rate fixed."""
+
+    def __init__(self, optimizer: SGD):
+        self.optimizer = optimizer
+
+    def step(self) -> None:
+        pass
+
+
+class StepLR:
+    """Multiply the learning rate by ``gamma`` every ``step_size`` calls."""
+
+    def __init__(self, optimizer: SGD, step_size: int, gamma: float = 0.1):
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._count = 0
+
+    def step(self) -> None:
+        self._count += 1
+        if self._count % self.step_size == 0:
+            self.optimizer.lr *= self.gamma

@@ -1,0 +1,107 @@
+"""Model-state flattening and averaging.
+
+Gossip aggregation (Algorithms 1 and 2 of the paper) averages whole
+models; these helpers turn a model into an ordered state dictionary or
+a flat vector and back, so protocols can treat models as elements of
+R^d exactly as Section 4's analysis does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Module
+
+__all__ = [
+    "get_state",
+    "set_state",
+    "state_to_vector",
+    "vector_to_state",
+    "average_states",
+    "num_parameters",
+]
+
+State = dict[str, np.ndarray]
+
+
+def get_state(model: Module) -> State:
+    """Snapshot parameters and buffers into a name -> array copy."""
+    state: State = {}
+    for name, param in model.named_parameters():
+        state[name] = param.data.copy()
+    for name, buf in model.named_buffers():
+        state["buffer:" + name] = buf.copy()
+    return state
+
+
+def set_state(model: Module, state: State) -> None:
+    """Load a state dictionary produced by :func:`get_state`."""
+    param_names = set()
+    for name, param in model.named_parameters():
+        if name not in state:
+            raise KeyError(f"state missing parameter {name!r}")
+        if state[name].shape != param.data.shape:
+            raise ValueError(
+                f"shape mismatch for {name!r}: "
+                f"{state[name].shape} vs {param.data.shape}"
+            )
+        param.data = state[name].copy()
+        param_names.add(name)
+    for name, _ in model.named_buffers():
+        key = "buffer:" + name
+        if key not in state:
+            raise KeyError(f"state missing buffer {name!r}")
+        model.set_buffer(name, state[key].copy())
+        param_names.add(key)
+    extra = set(state) - param_names
+    if extra:
+        raise KeyError(f"state has unknown entries: {sorted(extra)}")
+
+
+def state_to_vector(state: State) -> np.ndarray:
+    """Concatenate all state entries (sorted by name) into one vector."""
+    return np.concatenate([state[name].ravel() for name in sorted(state)])
+
+
+def vector_to_state(vector: np.ndarray, template: State) -> State:
+    """Inverse of :func:`state_to_vector` given a shape template."""
+    vector = np.asarray(vector, dtype=np.float64)
+    expected = sum(arr.size for arr in template.values())
+    if vector.size != expected:
+        raise ValueError(f"vector has {vector.size} entries, expected {expected}")
+    out: State = {}
+    offset = 0
+    for name in sorted(template):
+        arr = template[name]
+        out[name] = vector[offset : offset + arr.size].reshape(arr.shape).copy()
+        offset += arr.size
+    return out
+
+
+def average_states(states: list[State], weights: list[float] | None = None) -> State:
+    """Weighted average of state dictionaries (uniform by default)."""
+    if not states:
+        raise ValueError("cannot average zero states")
+    if weights is None:
+        weights = [1.0 / len(states)] * len(states)
+    if len(weights) != len(states):
+        raise ValueError("weights and states must have equal length")
+    total = sum(weights)
+    if not np.isclose(total, 1.0):
+        weights = [w / total for w in weights]
+    keys = set(states[0])
+    for state in states[1:]:
+        if set(state) != keys:
+            raise KeyError("states have mismatched keys")
+    out: State = {}
+    for name in keys:
+        acc = np.zeros_like(states[0][name])
+        for weight, state in zip(weights, states):
+            acc += weight * state[name]
+        out[name] = acc
+    return out
+
+
+def num_parameters(model: Module) -> int:
+    """Total number of trainable scalars in the model."""
+    return sum(p.size for p in model.parameters())

@@ -1,0 +1,67 @@
+"""Parameter container with gradient bookkeeping.
+
+The framework uses explicit backward passes rather than a tape-based
+autograd: every layer computes its own input gradient and accumulates
+parameter gradients into :class:`Parameter` objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Parameter"]
+
+
+class Parameter:
+    """A trainable array together with its accumulated gradient.
+
+    Parameters
+    ----------
+    data:
+        Initial value. Stored as ``float64`` for numerically stable
+        gradient checks; training code may downcast if desired.
+    name:
+        Human-readable identifier used in state dictionaries.
+    requires_grad:
+        When ``False`` the optimizer skips this parameter (used for
+        frozen layers and batch-norm running statistics).
+    """
+
+    __slots__ = ("data", "grad", "name", "requires_grad")
+
+    def __init__(self, data: np.ndarray, name: str = "", requires_grad: bool = True):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+        self.requires_grad = requires_grad
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zero in place."""
+        self.grad[...] = 0.0
+
+    def accumulate(self, grad: np.ndarray) -> None:
+        """Add ``grad`` to the stored gradient (shape-checked)."""
+        grad = np.asarray(grad)
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} does not match parameter "
+                f"{self.name!r} shape {self.data.shape}"
+            )
+        self.grad += grad
+
+    def copy(self) -> "Parameter":
+        """Deep copy (data and gradient)."""
+        out = Parameter(self.data.copy(), name=self.name, requires_grad=self.requires_grad)
+        out.grad = self.grad.copy()
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(name={self.name!r}, shape={self.data.shape})"

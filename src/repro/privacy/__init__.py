@@ -1,0 +1,74 @@
+"""Privacy attacks and defenses.
+
+* :mod:`repro.privacy.mia` — the Modified Prediction Entropy attack
+  (Song & Mittal, USENIX Security 2021) used throughout the paper,
+  plus the attack-accuracy / TPR@1%FPR metrics of Section 3.2.
+* :mod:`repro.privacy.dp` — DP-SGD (per-sample clipping + Gaussian
+  noise), replacing Opacus.
+* :mod:`repro.privacy.accountant` — RDP accounting for the subsampled
+  Gaussian mechanism and noise calibration for a target (eps, delta).
+"""
+
+from repro.privacy.mia import (
+    mpe_scores,
+    prediction_entropy,
+    AttackData,
+    build_attack_data,
+    mia_accuracy,
+    roc_curve,
+    tpr_at_fpr,
+    mia_report,
+    MIAResult,
+)
+from repro.privacy.attacks import (
+    ATTACKS,
+    ThresholdAttack,
+    compare_attacks,
+    confidence_scores,
+    entropy_scores,
+    loss_scores,
+    run_attack,
+)
+from repro.privacy.dp import DPSGDConfig, clip_per_sample, noisy_gradient
+from repro.privacy.shadow import (
+    ShadowAttackConfig,
+    ShadowModelAttack,
+    membership_features,
+)
+from repro.privacy.accountant import (
+    RDPAccountant,
+    rdp_subsampled_gaussian,
+    rdp_to_epsilon,
+    calibrate_sigma,
+    DEFAULT_ALPHAS,
+)
+
+__all__ = [
+    "mpe_scores",
+    "prediction_entropy",
+    "AttackData",
+    "build_attack_data",
+    "mia_accuracy",
+    "roc_curve",
+    "tpr_at_fpr",
+    "mia_report",
+    "MIAResult",
+    "ATTACKS",
+    "ThresholdAttack",
+    "compare_attacks",
+    "confidence_scores",
+    "entropy_scores",
+    "loss_scores",
+    "run_attack",
+    "ShadowAttackConfig",
+    "ShadowModelAttack",
+    "membership_features",
+    "DPSGDConfig",
+    "clip_per_sample",
+    "noisy_gradient",
+    "RDPAccountant",
+    "rdp_subsampled_gaussian",
+    "rdp_to_epsilon",
+    "calibrate_sigma",
+    "DEFAULT_ALPHAS",
+]

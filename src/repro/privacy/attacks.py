@@ -1,0 +1,153 @@
+"""Additional threshold-based membership inference attacks.
+
+The paper uses the Modified Prediction Entropy attack but cites the
+family of information-theoretic estimators it belongs to — prediction
+entropy and prediction confidence (Salem et al. [67], Song & Mittal
+[70]) — and loss-threshold attacks (Yeom et al. [82]). These variants
+share the same structure: a scalar score per sample where members are
+expected to score LOW, attacked with the optimal threshold. They are
+provided for ablations (``benchmarks/test_ablation_attacks.py``)
+comparing attack strength under identical training runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.privacy.mia import (
+    AttackData,
+    build_attack_data,
+    mia_report,
+    MIAResult,
+    mpe_scores,
+    prediction_entropy,
+)
+
+__all__ = [
+    "entropy_scores",
+    "confidence_scores",
+    "loss_scores",
+    "ThresholdAttack",
+    "ATTACKS",
+    "run_attack",
+    "compare_attacks",
+]
+
+_EPS = 1e-12
+
+
+def entropy_scores(probs: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Plain prediction-entropy score (label-independent).
+
+    Members are expected to have low-entropy (confident) predictions.
+    Weaker than MPE because a confidently WRONG prediction also scores
+    low.
+    """
+    probs = np.asarray(probs, dtype=np.float64)
+    if probs.ndim != 2:
+        raise ValueError(f"probs must be (N, C), got {probs.shape}")
+    return prediction_entropy(probs)
+
+
+def confidence_scores(probs: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Negative confidence in the true label.
+
+    Members are expected to assign high probability to their true
+    label, i.e. to score low under ``-P(y)``.
+    """
+    probs = np.asarray(probs, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if probs.ndim != 2 or labels.shape != (probs.shape[0],):
+        raise ValueError("probs must be (N, C) with matching labels")
+    return -probs[np.arange(probs.shape[0]), labels]
+
+
+def loss_scores(probs: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Cross-entropy loss of each sample (Yeom et al. attack).
+
+    Members are expected to have low loss.
+    """
+    probs = np.asarray(probs, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if probs.ndim != 2 or labels.shape != (probs.shape[0],):
+        raise ValueError("probs must be (N, C) with matching labels")
+    p_true = np.clip(probs[np.arange(probs.shape[0]), labels], _EPS, 1.0)
+    return -np.log(p_true)
+
+
+ScoreFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class ThresholdAttack:
+    """A named low-score-means-member threshold attack."""
+
+    name: str
+    score_fn: ScoreFn
+
+    def scores(self, probs: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        return self.score_fn(probs, labels)
+
+    def attack_data(
+        self,
+        member_probs: np.ndarray,
+        member_labels: np.ndarray,
+        nonmember_probs: np.ndarray,
+        nonmember_labels: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> AttackData:
+        return build_attack_data(
+            self.scores(member_probs, member_labels),
+            self.scores(nonmember_probs, nonmember_labels),
+            rng=rng,
+        )
+
+
+ATTACKS: dict[str, ThresholdAttack] = {
+    "mpe": ThresholdAttack("mpe", mpe_scores),
+    "entropy": ThresholdAttack("entropy", entropy_scores),
+    "confidence": ThresholdAttack("confidence", confidence_scores),
+    "loss": ThresholdAttack("loss", loss_scores),
+}
+
+
+def run_attack(
+    name: str,
+    member_probs: np.ndarray,
+    member_labels: np.ndarray,
+    nonmember_probs: np.ndarray,
+    nonmember_labels: np.ndarray,
+    rng: np.random.Generator | None = None,
+) -> MIAResult:
+    """Run one named attack and return its full report."""
+    if name not in ATTACKS:
+        raise ValueError(f"unknown attack {name!r}; choose from {sorted(ATTACKS)}")
+    data = ATTACKS[name].attack_data(
+        member_probs, member_labels, nonmember_probs, nonmember_labels, rng=rng
+    )
+    return mia_report(data)
+
+
+def compare_attacks(
+    member_probs: np.ndarray,
+    member_labels: np.ndarray,
+    nonmember_probs: np.ndarray,
+    nonmember_labels: np.ndarray,
+    rng: np.random.Generator | None = None,
+) -> dict[str, MIAResult]:
+    """Evaluate every registered attack on the same victim outputs."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    return {
+        name: run_attack(
+            name,
+            member_probs,
+            member_labels,
+            nonmember_probs,
+            nonmember_labels,
+            rng=rng,
+        )
+        for name in ATTACKS
+    }

@@ -1,0 +1,89 @@
+"""DP-SGD primitives: per-sample clipping and Gaussian noising.
+
+The paper enforces node-level DP "by clipping local gradients and
+adding Gaussian noise with an adequate variance to the clipped gradient
+at each step" (Section 3.9), with Opacus's DP-SGD and RDP accounting.
+This module provides the mechanism; :mod:`repro.privacy.accountant`
+provides the accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DPSGDConfig", "clip_per_sample", "noisy_gradient"]
+
+GradList = list[np.ndarray]
+
+
+@dataclass(frozen=True)
+class DPSGDConfig:
+    """Configuration of the Gaussian mechanism applied to gradients.
+
+    Attributes
+    ----------
+    clip_norm:
+        L2 bound C applied to each per-sample gradient.
+    noise_multiplier:
+        sigma; the noise added to the *sum* of clipped gradients has
+        standard deviation ``sigma * clip_norm`` per coordinate.
+    target_epsilon / target_delta:
+        Desired guarantee; when ``noise_multiplier`` is None the
+        accountant calibrates sigma from these.
+    """
+
+    clip_norm: float = 1.0
+    noise_multiplier: float | None = 1.0
+    target_epsilon: float | None = None
+    target_delta: float = 1e-5
+
+    def __post_init__(self) -> None:
+        if self.clip_norm <= 0:
+            raise ValueError("clip_norm must be positive")
+        if self.noise_multiplier is not None and self.noise_multiplier < 0:
+            raise ValueError("noise_multiplier must be non-negative")
+        if self.noise_multiplier is None and self.target_epsilon is None:
+            raise ValueError("provide noise_multiplier or target_epsilon")
+
+
+def _global_norm(grads: GradList) -> float:
+    """L2 norm of a gradient expressed as a list of arrays."""
+    return float(np.sqrt(sum(float(np.sum(g * g)) for g in grads)))
+
+
+def clip_per_sample(grads: GradList, clip_norm: float) -> tuple[GradList, float]:
+    """Scale one sample's gradient so its global L2 norm is <= clip_norm.
+
+    Returns the clipped gradient and the pre-clip norm (useful for
+    diagnostics and tests).
+    """
+    norm = _global_norm(grads)
+    scale = min(1.0, clip_norm / max(norm, 1e-12))
+    return [g * scale for g in grads], norm
+
+
+def noisy_gradient(
+    summed_clipped: GradList,
+    n_samples: int,
+    config: DPSGDConfig,
+    rng: np.random.Generator,
+) -> GradList:
+    """Add Gaussian noise to a sum of clipped per-sample gradients and
+    average.
+
+    The mechanism is ``(sum_i clip(g_i) + N(0, (sigma C)^2 I)) / B``,
+    matching DP-SGD/Opacus.
+    """
+    if n_samples <= 0:
+        raise ValueError("n_samples must be positive")
+    sigma = config.noise_multiplier
+    if sigma is None:
+        raise ValueError("noise_multiplier not resolved; calibrate first")
+    std = sigma * config.clip_norm
+    out: GradList = []
+    for g in summed_clipped:
+        noise = rng.normal(0.0, std, size=g.shape) if std > 0 else 0.0
+        out.append((g + noise) / n_samples)
+    return out

@@ -1,0 +1,208 @@
+"""Membership inference via Modified Prediction Entropy (MPE).
+
+Implements Section 2.5 of the paper:
+
+* the MPE measure (Equation 3),
+* the thresholding attack ``A_MPE`` (Equation 4) with the
+  accuracy-maximizing threshold of Section 3.2 — an upper bound on the
+  worst-case threshold attacker,
+* MIA accuracy (Equation 6) and TPR@1%FPR (Equation 7) computed from
+  the ROC curve over MPE scores (lower score means "member").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "prediction_entropy",
+    "mpe_scores",
+    "AttackData",
+    "build_attack_data",
+    "mia_accuracy",
+    "roc_curve",
+    "tpr_at_fpr",
+    "MIAResult",
+    "mia_report",
+]
+
+_EPS = 1e-12
+
+
+def prediction_entropy(probs: np.ndarray) -> np.ndarray:
+    """Shannon entropy of each row of a probability matrix (N, C)."""
+    p = np.clip(probs, _EPS, 1.0)
+    return -(p * np.log(p)).sum(axis=1)
+
+
+def mpe_scores(probs: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Modified Prediction Entropy of Equation (3), vectorized.
+
+    ``M(P, y) = -(1 - P(y)) log P(y) - sum_{y' != y} P(y') log(1 - P(y'))``
+
+    Low scores indicate confident, correct predictions — the signature
+    of training members.
+    """
+    probs = np.asarray(probs, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if probs.ndim != 2:
+        raise ValueError(f"probs must be (N, C), got {probs.shape}")
+    n, c = probs.shape
+    if labels.shape != (n,):
+        raise ValueError("labels must be 1-D and match probs")
+    if labels.size and (labels.min() < 0 or labels.max() >= c):
+        raise ValueError("labels out of range")
+    p = np.clip(probs, _EPS, 1.0 - _EPS)
+    rows = np.arange(n)
+    p_true = p[rows, labels]
+    term_true = -(1.0 - p_true) * np.log(p_true)
+    # Full sum over classes of -P(y') log(1 - P(y')), then remove the
+    # true-class contribution.
+    all_terms = -(p * np.log(1.0 - p))
+    term_rest = all_terms.sum(axis=1) - all_terms[rows, labels]
+    return term_true + term_rest
+
+
+@dataclass
+class AttackData:
+    """Scores and membership labels for one attacked model.
+
+    ``scores`` are MPE values; ``membership`` is 1 for members and 0
+    for non-members (the paper samples both equally from the victim's
+    local train and test sets).
+    """
+
+    scores: np.ndarray
+    membership: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.scores = np.asarray(self.scores, dtype=np.float64)
+        self.membership = np.asarray(self.membership, dtype=np.int64)
+        if self.scores.shape != self.membership.shape:
+            raise ValueError("scores and membership must have the same shape")
+        if self.membership.size and not set(np.unique(self.membership)) <= {0, 1}:
+            raise ValueError("membership labels must be 0/1")
+
+    def __len__(self) -> int:
+        return self.scores.shape[0]
+
+
+def build_attack_data(
+    member_scores: np.ndarray,
+    nonmember_scores: np.ndarray,
+    balance: bool = True,
+    rng: np.random.Generator | None = None,
+) -> AttackData:
+    """Assemble an attack set from member and non-member MPE scores.
+
+    When ``balance`` is set, the larger side is subsampled so the
+    baseline accuracy is 0.5 — the paper's convention.
+    """
+    member_scores = np.asarray(member_scores, dtype=np.float64)
+    nonmember_scores = np.asarray(nonmember_scores, dtype=np.float64)
+    if balance:
+        rng = rng if rng is not None else np.random.default_rng(0)
+        m = min(member_scores.size, nonmember_scores.size)
+        if m == 0:
+            raise ValueError("need at least one member and one non-member score")
+        if member_scores.size > m:
+            member_scores = rng.choice(member_scores, size=m, replace=False)
+        if nonmember_scores.size > m:
+            nonmember_scores = rng.choice(nonmember_scores, size=m, replace=False)
+    scores = np.concatenate([member_scores, nonmember_scores])
+    membership = np.concatenate(
+        [np.ones(member_scores.size, dtype=np.int64),
+         np.zeros(nonmember_scores.size, dtype=np.int64)]
+    )
+    return AttackData(scores=scores, membership=membership)
+
+
+def _valid_cuts(sorted_scores: np.ndarray) -> np.ndarray:
+    """Prefix lengths realizable by a scalar <=-threshold.
+
+    A cut after position t is only achievable when the score strictly
+    increases there (ties cannot be split by any threshold). Endpoints
+    0 and n are always realizable.
+    """
+    n = sorted_scores.shape[0]
+    boundaries = np.flatnonzero(np.diff(sorted_scores) > 0) + 1
+    return np.concatenate([[0], boundaries, [n]])
+
+
+def mia_accuracy(data: AttackData) -> float:
+    """Attack accuracy at the accuracy-maximizing threshold (Eq. 6).
+
+    The attack predicts "member" when the MPE score is <= threshold;
+    the threshold is chosen to maximize accuracy over the attack set,
+    as the paper's worst-case attacker does.
+    """
+    if len(data) == 0:
+        raise ValueError("empty attack data")
+    order = np.argsort(data.scores, kind="stable")
+    sorted_members = data.membership[order]
+    sorted_scores = data.scores[order]
+    n = len(data)
+    n_members = int(sorted_members.sum())
+    # Threshold between positions t-1 and t classifies the first t
+    # points as members. correct(t) = members in prefix + non-members
+    # in suffix; only tie-respecting cuts are allowed.
+    members_in_prefix = np.concatenate([[0], np.cumsum(sorted_members)])
+    t = _valid_cuts(sorted_scores)
+    prefix_members = members_in_prefix[t]
+    nonmembers_in_suffix = (n - n_members) - (t - prefix_members)
+    correct = prefix_members + nonmembers_in_suffix
+    return float(correct.max() / n)
+
+
+def roc_curve(data: AttackData) -> tuple[np.ndarray, np.ndarray]:
+    """ROC curve (FPR, TPR) sweeping the MPE threshold.
+
+    Lower scores indicate members, so the sweep classifies the ``t``
+    lowest-scoring samples as members for ``t = 0..n``.
+    """
+    if len(data) == 0:
+        raise ValueError("empty attack data")
+    order = np.argsort(data.scores, kind="stable")
+    sorted_members = data.membership[order]
+    sorted_scores = data.scores[order]
+    n_members = int(sorted_members.sum())
+    n_nonmembers = len(data) - n_members
+    if n_members == 0 or n_nonmembers == 0:
+        raise ValueError("attack data needs both members and non-members")
+    cuts = _valid_cuts(sorted_scores)
+    tp = np.concatenate([[0], np.cumsum(sorted_members)])[cuts]
+    fp = cuts - tp
+    return fp / n_nonmembers, tp / n_members
+
+
+def tpr_at_fpr(data: AttackData, max_fpr: float = 0.01) -> float:
+    """TPR at the largest ROC point with FPR <= ``max_fpr`` (Eq. 7)."""
+    fpr, tpr = roc_curve(data)
+    ok = fpr <= max_fpr + 1e-12
+    return float(tpr[ok].max()) if ok.any() else 0.0
+
+
+@dataclass
+class MIAResult:
+    """Summary of one MIA evaluation against one model."""
+
+    accuracy: float
+    tpr_at_1_fpr: float
+    auc: float
+    n_members: int
+    n_nonmembers: int
+
+
+def mia_report(data: AttackData) -> MIAResult:
+    """Compute accuracy, TPR@1%FPR and AUC in one pass."""
+    fpr, tpr = roc_curve(data)
+    auc = float(np.trapezoid(tpr, fpr))
+    return MIAResult(
+        accuracy=mia_accuracy(data),
+        tpr_at_1_fpr=tpr_at_fpr(data, 0.01),
+        auc=auc,
+        n_members=int(data.membership.sum()),
+        n_nonmembers=int((1 - data.membership).sum()),
+    )

@@ -1,0 +1,209 @@
+"""Shadow-model membership inference (Shokri et al., 2017).
+
+Section 2.5 of the paper contrasts its cheap threshold attack against
+"expensive approaches that train ML models to predict membership such
+as neural shadow models". This module implements that baseline so the
+trade-off can be measured:
+
+1. The attacker trains ``n_shadows`` shadow models on data drawn from
+   the same distribution as the victim's (here: disjoint splits of an
+   attacker-owned dataset).
+2. For each shadow model it computes per-sample feature vectors on its
+   own member and non-member data — features are the scores of the
+   threshold attacks (MPE, entropy, confidence, loss), which are known
+   to carry the membership signal.
+3. A small MLP (built with :mod:`repro.nn`) is trained to classify
+   member vs non-member from these features.
+4. The trained attack model is applied to the victim's outputs.
+
+The attack needs no access to the victim's training data — only to its
+prediction API and to same-distribution data, matching Shokri et al.'s
+threat model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.layers import Module
+from repro.nn.loss import CrossEntropyLoss
+from repro.nn.models import build_mlp
+from repro.nn.optim import SGD
+from repro.nn.serialize import get_state, set_state
+from repro.privacy.attacks import (
+    confidence_scores,
+    entropy_scores,
+    loss_scores,
+)
+from repro.privacy.mia import build_attack_data, mia_report, MIAResult, mpe_scores
+
+__all__ = ["ShadowAttackConfig", "ShadowModelAttack", "membership_features"]
+
+
+def membership_features(probs: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Per-sample feature vector for the membership classifier.
+
+    Stacks the four threshold-attack scores; each is individually
+    predictive, and the learned classifier can weigh them jointly.
+    """
+    return np.stack(
+        [
+            mpe_scores(probs, labels),
+            entropy_scores(probs, labels),
+            confidence_scores(probs, labels),
+            loss_scores(probs, labels),
+        ],
+        axis=1,
+    )
+
+
+@dataclass(frozen=True)
+class ShadowAttackConfig:
+    """Attacker-side training configuration."""
+
+    n_shadows: int = 4
+    shadow_epochs: int = 30
+    shadow_lr: float = 0.1
+    attack_epochs: int = 60
+    attack_lr: float = 0.05
+    attack_hidden: tuple[int, ...] = (16,)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_shadows < 1:
+            raise ValueError("need at least one shadow model")
+        if self.shadow_epochs < 1 or self.attack_epochs < 1:
+            raise ValueError("epoch counts must be positive")
+
+
+class ShadowModelAttack:
+    """Train shadow models, then a membership classifier on their
+    outputs, and attack victim models."""
+
+    def __init__(
+        self,
+        target_template: Module,
+        x_attacker: np.ndarray,
+        y_attacker: np.ndarray,
+        config: ShadowAttackConfig | None = None,
+    ):
+        """``target_template`` is a model with the victim's
+        architecture (shadow models share it, per Shokri et al.);
+        ``x_attacker/y_attacker`` is attacker-owned data from the same
+        distribution as the victim's."""
+        self.template = target_template
+        self.template_state = get_state(target_template)
+        self.x = np.asarray(x_attacker, dtype=np.float64)
+        self.y = np.asarray(y_attacker, dtype=np.int64)
+        self.config = config or ShadowAttackConfig()
+        if self.x.shape[0] < 4 * self.config.n_shadows:
+            raise ValueError(
+                "attacker data too small for the requested shadow count"
+            )
+        self.attack_model: Module | None = None
+        self._feature_mean: np.ndarray | None = None
+        self._feature_std: np.ndarray | None = None
+
+    # -- shadow training -------------------------------------------------
+
+    def _train_shadow(
+        self, x: np.ndarray, y: np.ndarray, rng: np.random.Generator
+    ) -> None:
+        """Fit the shared template on one shadow split (in place)."""
+        set_state(self.template, self.template_state)
+        self.template.train()
+        loss_fn = CrossEntropyLoss()
+        optimizer = SGD(
+            self.template.parameters(), lr=self.config.shadow_lr, momentum=0.9
+        )
+        for _ in range(self.config.shadow_epochs):
+            order = rng.permutation(x.shape[0])
+            for start in range(0, x.shape[0], 32):
+                batch = order[start : start + 32]
+                optimizer.zero_grad()
+                loss_fn(self.template.forward(x[batch]), y[batch])
+                self.template.backward(loss_fn.backward())
+                optimizer.step()
+
+    def _shadow_features(self) -> tuple[np.ndarray, np.ndarray]:
+        """Train all shadows; return (features, membership labels)."""
+        rng = np.random.default_rng(self.config.seed)
+        n = self.x.shape[0]
+        order = rng.permutation(n)
+        splits = np.array_split(order, self.config.n_shadows * 2)
+        features, labels = [], []
+        for s in range(self.config.n_shadows):
+            member_idx = splits[2 * s]
+            nonmember_idx = splits[2 * s + 1]
+            self._train_shadow(self.x[member_idx], self.y[member_idx], rng)
+            self.template.eval()
+            for idx, is_member in ((member_idx, 1), (nonmember_idx, 0)):
+                probs = self._predict(self.x[idx])
+                features.append(membership_features(probs, self.y[idx]))
+                labels.append(np.full(idx.shape[0], is_member, dtype=np.int64))
+        return np.concatenate(features), np.concatenate(labels)
+
+    def _predict(self, x: np.ndarray) -> np.ndarray:
+        from repro.metrics.evaluation import predict_proba
+
+        return predict_proba(self.template, x)
+
+    # -- attack-model training ---------------------------------------------
+
+    def fit(self) -> "ShadowModelAttack":
+        """Train the membership classifier from shadow outputs."""
+        features, labels = self._shadow_features()
+        self._feature_mean = features.mean(axis=0)
+        self._feature_std = features.std(axis=0) + 1e-9
+        features = (features - self._feature_mean) / self._feature_std
+        rng = np.random.default_rng(self.config.seed + 1)
+        self.attack_model = build_mlp(
+            features.shape[1], 2, hidden=self.config.attack_hidden, rng=rng
+        )
+        loss_fn = CrossEntropyLoss()
+        optimizer = SGD(
+            self.attack_model.parameters(), lr=self.config.attack_lr, momentum=0.9
+        )
+        for _ in range(self.config.attack_epochs):
+            order = rng.permutation(features.shape[0])
+            for start in range(0, features.shape[0], 64):
+                batch = order[start : start + 64]
+                optimizer.zero_grad()
+                loss_fn(self.attack_model.forward(features[batch]), labels[batch])
+                self.attack_model.backward(loss_fn.backward())
+                optimizer.step()
+        return self
+
+    # -- inference --------------------------------------------------------
+
+    def membership_scores(
+        self, probs: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        """Low score = member, matching the threshold-attack convention."""
+        if self.attack_model is None:
+            raise RuntimeError("call fit() before scoring")
+        features = membership_features(probs, labels)
+        features = (features - self._feature_mean) / self._feature_std
+        from repro.nn import functional as F
+
+        logits = self.attack_model.forward(features)
+        member_prob = F.softmax(logits, axis=1)[:, 1]
+        return 1.0 - member_prob
+
+    def attack(
+        self,
+        member_probs: np.ndarray,
+        member_labels: np.ndarray,
+        nonmember_probs: np.ndarray,
+        nonmember_labels: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> MIAResult:
+        """Full evaluation against one victim's outputs."""
+        data = build_attack_data(
+            self.membership_scores(member_probs, member_labels),
+            self.membership_scores(nonmember_probs, nonmember_labels),
+            rng=rng,
+        )
+        return mia_report(data)

@@ -1,0 +1,172 @@
+"""Tests for the high-level study API."""
+
+import numpy as np
+import pytest
+
+from repro import StudyConfig, VulnerabilityStudy, run_study
+
+
+def tiny_config(**overrides):
+    base = dict(
+        name="test",
+        dataset="purchase100",
+        n_train=600,
+        n_test=150,
+        num_features=64,
+        n_nodes=6,
+        view_size=2,
+        protocol="samo",
+        rounds=2,
+        train_per_node=24,
+        test_per_node=12,
+        mlp_hidden=(32, 16),
+        local_epochs=1,
+        batch_size=12,
+        max_attack_samples=32,
+        max_global_test=64,
+    )
+    base.update(overrides)
+    return StudyConfig(**base)
+
+
+class TestStudyConfig:
+    def test_architecture_derived_from_dataset(self):
+        assert StudyConfig(dataset="cifar10").architecture == "cnn"
+        assert StudyConfig(dataset="cifar100").architecture == "resnet8"
+        assert StudyConfig(dataset="fashion_mnist").architecture == "cnn"
+        assert StudyConfig(dataset="purchase100").architecture == "mlp"
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(ValueError):
+            StudyConfig(dataset="imagenet").architecture
+
+    def test_with_overrides(self):
+        cfg = tiny_config().with_overrides(rounds=7, dynamic=True)
+        assert cfg.rounds == 7
+        assert cfg.dynamic
+        assert cfg.dataset == "purchase100"  # untouched
+
+
+class TestRunStudy:
+    def test_produces_one_record_per_round(self):
+        result = run_study(tiny_config(rounds=3))
+        assert len(result.rounds) == 3
+        assert [r.round_index for r in result.rounds] == [0, 1, 2]
+
+    def test_metrics_in_valid_ranges(self):
+        result = run_study(tiny_config())
+        for record in result.rounds:
+            assert 0.0 <= record.global_test_accuracy <= 1.0
+            assert 0.0 <= record.mia_accuracy <= 1.0
+            assert 0.0 <= record.mia_tpr_at_1_fpr <= 1.0
+            assert -1.0 <= record.generalization_error <= 1.0
+            assert record.messages_sent > 0
+
+    def test_metadata_recorded(self):
+        result = run_study(tiny_config(dynamic=True))
+        assert result.metadata["dynamic"] is True
+        assert result.metadata["dataset"] == "purchase100"
+        assert result.metadata["protocol"] == "samo"
+
+    def test_deterministic_given_seed(self):
+        a = run_study(tiny_config(seed=5))
+        b = run_study(tiny_config(seed=5))
+        np.testing.assert_allclose(
+            a.series("mia_accuracy"), b.series("mia_accuracy")
+        )
+        np.testing.assert_allclose(
+            a.series("global_test_accuracy"), b.series("global_test_accuracy")
+        )
+
+    def test_base_gossip_protocol_runs(self):
+        result = run_study(tiny_config(protocol="base_gossip"))
+        assert len(result.rounds) == 2
+
+    def test_image_dataset_runs(self):
+        result = run_study(
+            tiny_config(
+                dataset="cifar10",
+                image_size=8,
+                model_width=4,
+                n_train=400,
+                train_per_node=16,
+                test_per_node=8,
+            )
+        )
+        assert len(result.rounds) == 2
+
+    def test_noniid_runs(self):
+        result = run_study(tiny_config(beta=0.2))
+        assert result.metadata["beta"] == 0.2
+
+    def test_mia_beats_chance_once_overfit(self):
+        """Core phenomenon: after a few rounds the MPE attack exceeds
+        0.5 accuracy on node models."""
+        result = run_study(tiny_config(rounds=3, local_epochs=3))
+        assert result.max_mia_accuracy > 0.55
+
+
+class TestCanaryStudy:
+    def test_canary_tpr_recorded(self):
+        result = run_study(tiny_config(n_canaries=12))
+        for record in result.rounds:
+            assert record.canary_tpr_at_1_fpr is not None
+            assert 0.0 <= record.canary_tpr_at_1_fpr <= 1.0
+
+    def test_canaries_get_memorized(self):
+        """With enough local epochs, canary TPR should be substantial
+        ('just how powerful this attack is' — Section 3.5)."""
+        result = run_study(
+            tiny_config(rounds=4, local_epochs=4, n_canaries=12)
+        )
+        series = result.series("canary_tpr_at_1_fpr")
+        assert np.nanmax(series) > 0.3
+
+
+class TestDPStudy:
+    def test_dp_run_records_epsilon(self):
+        result = run_study(tiny_config(dp_epsilon=50.0, local_epochs=1))
+        assert result.metadata["noise_multiplier"] > 0
+        finals = [r.epsilon for r in result.rounds]
+        assert all(e is not None and e >= 0 for e in finals)
+
+    def test_spent_epsilon_does_not_exceed_target(self):
+        """The per-node update cap makes the budget a hard guarantee."""
+        result = run_study(tiny_config(dp_epsilon=25.0))
+        assert result.rounds[-1].epsilon <= 25.0 * 1.001
+
+    def test_budget_holds_for_base_gossip_too(self):
+        """Base Gossip trains on receptions; the cap still binds."""
+        result = run_study(
+            tiny_config(dp_epsilon=25.0, protocol="base_gossip", rounds=3)
+        )
+        assert result.rounds[-1].epsilon <= 25.0 * 1.001
+
+    def test_epsilon_grows_over_rounds(self):
+        result = run_study(tiny_config(dp_epsilon=50.0, rounds=3))
+        eps = [r.epsilon for r in result.rounds]
+        assert eps[0] <= eps[-1]
+
+    def test_tighter_budget_means_more_noise(self):
+        tight = VulnerabilityStudy(tiny_config(dp_epsilon=5.0))
+        loose = VulnerabilityStudy(tiny_config(dp_epsilon=50.0))
+        assert (
+            tight.protocol.trainer.config.dp.noise_multiplier
+            > loose.protocol.trainer.config.dp.noise_multiplier
+        )
+
+
+class TestLatencyStudy:
+    def test_delayed_network_runs(self):
+        result = run_study(tiny_config(delay_ticks=10, delay_jitter=5))
+        assert len(result.rounds) == 2
+        assert result.rounds[-1].messages_sent > 0
+
+    def test_latency_does_not_break_determinism(self):
+        import numpy as np
+
+        a = run_study(tiny_config(delay_ticks=7, seed=21))
+        b = run_study(tiny_config(delay_ticks=7, seed=21))
+        np.testing.assert_allclose(
+            a.series("mia_accuracy"), b.series("mia_accuracy")
+        )

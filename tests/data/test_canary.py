@@ -1,0 +1,103 @@
+"""Tests for canary construction and injection (RQ3 infrastructure)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    make_canaries,
+    inject_canaries,
+    make_node_splits,
+    make_synthetic_tabular_dataset,
+)
+
+
+def setup(n=300, classes=5, n_nodes=4, n_canaries=20, seed=0):
+    train, _ = make_synthetic_tabular_dataset(
+        "t", n, 20, num_features=16, num_classes=classes, seed=seed
+    )
+    rng = np.random.default_rng(seed)
+    splits = make_node_splits(train, n_nodes, train_per_node=30, test_per_node=15,
+                              seed=seed)
+    canaries = make_canaries(train, n_canaries, n_nodes, rng)
+    return train, splits, canaries
+
+
+class TestMakeCanaries:
+    def test_labels_flipped_in_place(self):
+        train, _, canaries = setup()
+        for idx in canaries.all_indices:
+            idx = int(idx)
+            assert train.y[idx] == canaries.flipped_labels[idx]
+            assert canaries.flipped_labels[idx] != canaries.original_labels[idx]
+
+    def test_member_holdout_split_roughly_even(self):
+        _, _, canaries = setup(n_canaries=20)
+        assert canaries.member_indices.size == 10
+        assert canaries.holdout_indices.size == 10
+
+    def test_member_and_holdout_disjoint(self):
+        _, _, canaries = setup()
+        overlap = np.intersect1d(canaries.member_indices, canaries.holdout_indices)
+        assert overlap.size == 0
+
+    def test_round_robin_node_assignment_is_even(self):
+        _, _, canaries = setup(n_nodes=4, n_canaries=40)
+        counts = np.bincount(
+            [canaries.node_of[int(i)] for i in canaries.member_indices], minlength=4
+        )
+        assert counts.max() - counts.min() <= 1
+
+    def test_rejects_too_few(self):
+        train, _, _ = setup()
+        with pytest.raises(ValueError):
+            make_canaries(train, 1, 4, np.random.default_rng(0))
+
+    def test_rejects_too_many(self):
+        train, _, _ = setup(n=50)
+        with pytest.raises(ValueError):
+            make_canaries(train, 100, 4, np.random.default_rng(0))
+
+    def test_for_node_accessors(self):
+        _, _, canaries = setup(n_nodes=3, n_canaries=12)
+        all_members = np.concatenate(
+            [canaries.members_for_node(i) for i in range(3)]
+        )
+        np.testing.assert_array_equal(
+            np.sort(all_members), canaries.member_indices
+        )
+
+
+class TestInjectCanaries:
+    def test_members_land_in_their_nodes_train_set(self):
+        _, splits, canaries = setup()
+        injected = inject_canaries(splits, canaries)
+        for split in injected:
+            mine = canaries.members_for_node(split.node_id)
+            assert np.isin(mine, split.train.indices).all()
+
+    def test_member_canaries_not_in_other_nodes(self):
+        _, splits, canaries = setup()
+        injected = inject_canaries(splits, canaries)
+        for split in injected:
+            others = np.setdiff1d(
+                canaries.member_indices, canaries.members_for_node(split.node_id)
+            )
+            assert not np.isin(others, split.train.indices).any()
+
+    def test_holdouts_in_no_train_set(self):
+        _, splits, canaries = setup()
+        injected = inject_canaries(splits, canaries)
+        for split in injected:
+            assert not np.isin(canaries.holdout_indices, split.train.indices).any()
+
+    def test_no_canary_in_any_test_set(self):
+        _, splits, canaries = setup()
+        injected = inject_canaries(splits, canaries)
+        for split in injected:
+            assert not np.isin(canaries.all_indices, split.test.indices).any()
+
+    def test_train_test_still_disjoint(self):
+        _, splits, canaries = setup()
+        for split in inject_canaries(splits, canaries):
+            overlap = np.intersect1d(split.train.indices, split.test.indices)
+            assert overlap.size == 0

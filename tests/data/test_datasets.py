@@ -1,0 +1,154 @@
+"""Tests for synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DATASET_BUILDERS,
+    Dataset,
+    make_cifar10_like,
+    make_cifar100_like,
+    make_dataset,
+    make_fashion_mnist_like,
+    make_purchase100_like,
+    make_synthetic_image_dataset,
+    make_synthetic_tabular_dataset,
+)
+
+
+class TestDatasetContainer:
+    def test_len_and_shape(self, rng):
+        ds = Dataset("d", rng.normal(size=(10, 3)), rng.integers(0, 2, 10), 2)
+        assert len(ds) == 10
+        assert ds.input_shape == (3,)
+
+    def test_rejects_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            Dataset("d", rng.normal(size=(10, 3)), np.zeros(9, dtype=int), 2)
+
+    def test_rejects_out_of_range_labels(self, rng):
+        with pytest.raises(ValueError):
+            Dataset("d", rng.normal(size=(3, 2)), np.array([0, 1, 5]), 2)
+
+    def test_subset_view(self, rng):
+        ds = Dataset("d", rng.normal(size=(10, 3)), rng.integers(0, 2, 10), 2)
+        sub = ds.subset(np.array([1, 3, 5]))
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.x, ds.x[[1, 3, 5]])
+        np.testing.assert_array_equal(sub.y, ds.y[[1, 3, 5]])
+
+    def test_subset_rejects_bad_indices(self, rng):
+        ds = Dataset("d", rng.normal(size=(5, 2)), np.zeros(5, dtype=int), 2)
+        with pytest.raises(IndexError):
+            ds.subset(np.array([10]))
+
+
+class TestImageGenerator:
+    def test_shapes(self):
+        train, test = make_synthetic_image_dataset(
+            "x", 100, 40, image_size=8, channels=3, num_classes=5, seed=0
+        )
+        assert train.x.shape == (100, 3, 8, 8)
+        assert test.x.shape == (40, 3, 8, 8)
+        assert train.num_classes == 5
+
+    def test_labels_roughly_balanced(self):
+        train, _ = make_synthetic_image_dataset(
+            "x", 500, 10, image_size=8, num_classes=10, seed=0
+        )
+        counts = np.bincount(train.y, minlength=10)
+        assert counts.min() >= 30
+
+    def test_deterministic_given_seed(self):
+        a, _ = make_synthetic_image_dataset("x", 20, 5, image_size=8, seed=7)
+        b, _ = make_synthetic_image_dataset("x", 20, 5, image_size=8, seed=7)
+        np.testing.assert_array_equal(a.x, b.x)
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_different_seeds_differ(self):
+        a, _ = make_synthetic_image_dataset("x", 20, 5, image_size=8, seed=1)
+        b, _ = make_synthetic_image_dataset("x", 20, 5, image_size=8, seed=2)
+        assert not np.array_equal(a.x, b.x)
+
+    def test_classes_are_separable(self):
+        """Nearest-prototype structure: same-class samples are closer on
+        average than cross-class samples."""
+        train, _ = make_synthetic_image_dataset(
+            "x", 200, 10, image_size=8, num_classes=4,
+            prototypes_per_class=1, noise_std=0.2, seed=0
+        )
+        flat = train.x.reshape(len(train), -1)
+        within, across = [], []
+        for i in range(0, 100, 5):
+            for j in range(i + 1, 100, 7):
+                d = np.linalg.norm(flat[i] - flat[j])
+                (within if train.y[i] == train.y[j] else across).append(d)
+        assert np.mean(within) < np.mean(across)
+
+    def test_label_noise_flips_labels(self):
+        clean, _ = make_synthetic_image_dataset(
+            "x", 300, 10, image_size=8, num_classes=10, label_noise=0.0, seed=3
+        )
+        noisy, _ = make_synthetic_image_dataset(
+            "x", 300, 10, image_size=8, num_classes=10, label_noise=0.5, seed=3
+        )
+        assert (clean.y != noisy.y).mean() > 0.2
+
+
+class TestTabularGenerator:
+    def test_binary_features(self):
+        train, _ = make_synthetic_tabular_dataset(
+            "p", 50, 10, num_features=32, num_classes=5, seed=0
+        )
+        assert set(np.unique(train.x)) <= {0.0, 1.0}
+        assert train.x.shape == (50, 32)
+
+    def test_flip_prob_controls_noise(self):
+        low, _ = make_synthetic_tabular_dataset(
+            "p", 100, 10, num_features=64, num_classes=2, flip_prob=0.01, seed=0
+        )
+        high, _ = make_synthetic_tabular_dataset(
+            "p", 100, 10, num_features=64, num_classes=2, flip_prob=0.45, seed=0
+        )
+
+        def within_class_var(ds):
+            mask = ds.y == ds.y[0]
+            return ds.x[mask].var(axis=0).mean()
+
+        assert within_class_var(low) < within_class_var(high)
+
+
+class TestNamedBuilders:
+    @pytest.mark.parametrize("name", sorted(DATASET_BUILDERS))
+    def test_all_builders_run(self, name):
+        kwargs = (
+            {"image_size": 8}
+            if name != "purchase100"
+            else {"num_features": 32}
+        )
+        train, test = make_dataset(name, n_train=40, n_test=20, seed=0, **kwargs)
+        assert len(train) == 40
+        assert len(test) == 20
+        assert train.num_classes == test.num_classes
+
+    def test_cifar10_spec(self):
+        train, _ = make_cifar10_like(n_train=30, n_test=10, image_size=8)
+        assert train.num_classes == 10
+        assert train.x.shape[1] == 3
+
+    def test_cifar100_spec(self):
+        train, _ = make_cifar100_like(n_train=200, n_test=10, image_size=8)
+        assert train.num_classes == 100
+
+    def test_fashion_mnist_spec(self):
+        train, _ = make_fashion_mnist_like(n_train=30, n_test=10, image_size=8)
+        assert train.x.shape[1] == 1  # grayscale
+
+    def test_purchase100_spec(self):
+        train, _ = make_purchase100_like(n_train=200, n_test=10, num_features=64)
+        assert train.num_classes == 100
+        assert train.x.shape == (200, 64)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_dataset("imagenet", 10, 10)

@@ -1,0 +1,90 @@
+"""Tests for experiment configuration presets."""
+
+import pytest
+
+from repro.experiments import (
+    SCALES,
+    dataset_model_summary,
+    paper_table2_config,
+    scaled_config,
+    table2_rows,
+)
+
+
+class TestScaledConfig:
+    @pytest.mark.parametrize("dataset", ["cifar10", "cifar100", "fashion_mnist", "purchase100"])
+    @pytest.mark.parametrize("scale", ["tiny", "small"])
+    def test_all_presets_build(self, dataset, scale):
+        config = scaled_config(dataset, scale)
+        assert config.dataset == dataset
+        assert config.n_nodes == SCALES[scale].n_nodes
+
+    def test_table2_hyperparams_applied(self):
+        config = scaled_config("purchase100", "tiny")
+        assert config.learning_rate == 0.01
+        assert config.momentum == 0.9
+        assert config.weight_decay == 5e-4
+
+    def test_cifar10_has_zero_momentum(self):
+        """Table 2: CIFAR-10 trains with momentum 0."""
+        assert scaled_config("cifar10", "tiny").momentum == 0.0
+
+    def test_local_epoch_cap_at_tiny_scale(self):
+        # Purchase100 uses 10 local epochs in the paper; tiny caps at 2.
+        assert scaled_config("purchase100", "tiny").local_epochs == 2
+        assert paper_table2_config("purchase100").local_epochs == 10
+
+    def test_overrides_forwarded(self):
+        config = scaled_config("cifar10", "tiny", dynamic=True, view_size=4)
+        assert config.dynamic
+        assert config.view_size == 4
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            scaled_config("mnist", "tiny")
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError):
+            scaled_config("cifar10", "huge")
+
+
+class TestPaperScale:
+    def test_150_nodes_default(self):
+        assert paper_table2_config("cifar10").n_nodes == 150
+
+    def test_cifar100_uses_60_nodes(self):
+        """Figure captions: '150 nodes (60 nodes on CIFAR100)'."""
+        assert paper_table2_config("cifar100").n_nodes == 60
+
+    def test_paper_rounds_match_table2(self):
+        assert paper_table2_config("cifar10").rounds == 250
+        assert paper_table2_config("cifar100").rounds == 500
+        assert paper_table2_config("purchase100").rounds == 250
+
+    def test_paper_image_size(self):
+        assert paper_table2_config("cifar10").image_size == 32
+
+
+class TestTables:
+    def test_table2_has_four_rows(self):
+        rows = table2_rows()
+        assert len(rows) == 4
+        assert {r["dataset"] for r in rows} == {
+            "cifar10", "cifar100", "fashion_mnist", "purchase100"
+        }
+
+    def test_table2_values_match_paper(self):
+        by_name = {r["dataset"]: r for r in table2_rows()}
+        assert by_name["cifar100"]["learning_rate"] == 0.001
+        assert by_name["cifar100"]["local_epochs"] == 5
+        assert by_name["cifar100"]["rounds"] == 500
+        assert by_name["purchase100"]["local_epochs"] == 10
+        assert all(r["weight_decay"] == 5e-4 for r in table2_rows())
+
+    def test_table1_characteristics(self):
+        rows = dataset_model_summary()
+        by_name = {r["dataset"]: r for r in rows}
+        assert by_name["cifar10"]["train_set"] == 50_000
+        assert by_name["purchase100"]["train_set"] == 157_859
+        assert by_name["purchase100"]["classes"] == 100
+        assert by_name["fashion_mnist"]["input_size"] == (28, 28, 1)

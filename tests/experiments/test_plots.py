@@ -1,0 +1,59 @@
+"""Tests for the ASCII chart renderer."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.plots import ascii_chart, sparkline
+
+
+class TestSparkline:
+    def test_length_capped_at_width(self):
+        assert len(sparkline(np.arange(500), width=40)) == 40
+
+    def test_short_series_kept_as_is(self):
+        assert len(sparkline([1, 2, 3], width=40)) == 3
+
+    def test_monotone_series_monotone_glyphs(self):
+        line = sparkline(np.linspace(0, 1, 10))
+        levels = " .:-=+*#%@"
+        ranks = [levels.index(ch) for ch in line]
+        assert all(b >= a for a, b in zip(ranks, ranks[1:]))
+
+    def test_constant_series(self):
+        line = sparkline([5.0] * 10)
+        assert len(set(line)) == 1
+
+    def test_empty_and_nan(self):
+        assert sparkline([]) == ""
+        assert sparkline([np.nan, np.nan]) == ""
+
+
+class TestAsciiChart:
+    def test_contains_legend_and_axis(self):
+        chart = ascii_chart({"a": np.linspace(0, 1, 20)})
+        assert "o=a" in chart
+        assert "1.000" in chart
+        assert "0.000" in chart
+
+    def test_multiple_series_distinct_markers(self):
+        chart = ascii_chart(
+            {"up": np.linspace(0, 1, 20), "down": np.linspace(1, 0, 20)}
+        )
+        assert "o=up" in chart
+        assert "x=down" in chart
+
+    def test_logy_for_decay(self):
+        chart = ascii_chart(
+            {"decay": np.logspace(0, -8, 30)}, logy=True
+        )
+        assert "e-0" in chart or "e+0" in chart  # scientific labels
+
+    def test_empty(self):
+        assert ascii_chart({}) == "(no series)"
+        assert "(no finite data)" in ascii_chart({"a": np.array([np.nan])})
+
+    def test_dimensions(self):
+        chart = ascii_chart({"a": np.arange(10)}, width=30, height=6)
+        lines = chart.splitlines()
+        assert len(lines) == 6 + 2  # rows + axis + legend
+        assert all("|" in l for l in lines[:6])

@@ -1,0 +1,41 @@
+"""Tests for table renderers."""
+
+from repro.experiments.tables import (
+    render_rows,
+    table1,
+    table2,
+    verify_table1_shapes,
+)
+
+
+class TestRenderRows:
+    def test_renders_header_and_rows(self):
+        text = render_rows([{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4  # header, separator, 2 rows
+
+    def test_empty(self):
+        assert render_rows([]) == "(empty)"
+
+    def test_column_subset(self):
+        text = render_rows([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+
+class TestTables:
+    def test_table1_rows(self):
+        rows = table1()
+        assert len(rows) == 4
+
+    def test_table2_rows(self):
+        rows = table2()
+        assert len(rows) == 4
+
+    def test_verify_shapes_executable(self):
+        rows = verify_table1_shapes(image_size=8, num_features=32)
+        by_name = {r["dataset"]: r for r in rows}
+        assert by_name["cifar10"]["input_shape"] == (3, 8, 8)
+        assert by_name["fashion_mnist"]["input_shape"] == (1, 8, 8)
+        assert by_name["purchase100"]["input_shape"] == (32,)
+        assert all(r["parameters"] > 0 for r in rows)

@@ -1,0 +1,106 @@
+"""Tests for the tick clock and wake schedules."""
+
+import numpy as np
+import pytest
+
+from repro.gossip import TickClock, WakeSchedule
+
+
+class TestWakeSchedule:
+    def test_gaps_near_mu(self, rng):
+        sched = WakeSchedule(500, rng, mu=100.0, sigma=10.0)
+        assert sched.gaps.mean() == pytest.approx(100.0, rel=0.05)
+
+    def test_gaps_at_least_min(self, rng):
+        sched = WakeSchedule(100, rng, mu=2.0, sigma=5.0, min_gap=1)
+        assert sched.gaps.min() >= 1
+
+    def test_wakes_at_matches_waking_nodes(self, rng):
+        sched = WakeSchedule(10, rng, mu=7.0, sigma=2.0)
+        for tick in range(30):
+            waking = set(sched.waking_nodes(tick))
+            for node in range(10):
+                assert (node in waking) == sched.wakes_at(node, tick)
+
+    def test_each_node_wakes_periodically(self, rng):
+        sched = WakeSchedule(5, rng, mu=10.0, sigma=0.0)
+        for node in range(5):
+            wakes = [t for t in range(50) if sched.wakes_at(node, t)]
+            gaps = np.diff(wakes)
+            assert np.all(gaps == sched.gaps[node])
+
+    def test_no_wake_before_phase(self, rng):
+        sched = WakeSchedule(20, rng, mu=50.0, sigma=5.0)
+        for node in range(20):
+            phase = sched.phases[node]
+            for t in range(int(phase)):
+                assert not sched.wakes_at(node, t)
+
+    def test_expected_wakeups_per_round(self, rng):
+        sched = WakeSchedule(100, rng, mu=100.0, sigma=0.0)
+        assert sched.wakeups_per_round(100) == pytest.approx(100.0)
+
+    def test_rejects_bad_params(self, rng):
+        with pytest.raises(ValueError):
+            WakeSchedule(0, rng)
+        with pytest.raises(ValueError):
+            WakeSchedule(5, rng, mu=0.0)
+        with pytest.raises(ValueError):
+            WakeSchedule(5, rng, sigma=-1.0)
+
+    def test_paper_parameters(self, rng):
+        """Section 3.1: mu = 100 ticks, sigma^2 = 100 (sigma = 10)."""
+        sched = WakeSchedule(150, rng)  # defaults
+        assert sched.gaps.std() == pytest.approx(10.0, rel=0.5)
+
+
+class TestTickClock:
+    def test_advance_counts(self):
+        clock = TickClock(100)
+        for _ in range(5):
+            clock.advance()
+        assert clock.tick == 5
+
+    def test_round_index(self):
+        clock = TickClock(10)
+        assert clock.round_index == 0
+        for _ in range(25):
+            clock.advance()
+        assert clock.round_index == 2
+
+    def test_round_boundary(self):
+        clock = TickClock(10)
+        boundaries = []
+        for _ in range(30):
+            clock.advance()
+            if clock.is_round_boundary():
+                boundaries.append(clock.tick)
+        assert boundaries == [10, 20, 30]
+
+    def test_ticks_for_rounds(self):
+        clock = TickClock(100)
+        assert clock.ticks_for_rounds(3) == 300
+        with pytest.raises(ValueError):
+            clock.ticks_for_rounds(-1)
+
+    def test_rejects_nonpositive_ticks_per_round(self):
+        with pytest.raises(ValueError):
+            TickClock(0)
+
+
+class TestWakeScheduleProperties:
+    def test_count_wakes_matches_enumeration(self, rng):
+        from hypothesis import given
+        sched = WakeSchedule(12, rng, mu=9.0, sigma=3.0)
+        for node in range(12):
+            for horizon in (0, 1, 7, 23, 50):
+                explicit = sum(
+                    1 for t in range(horizon) if sched.wakes_at(node, t)
+                )
+                assert sched.count_wakes(node, horizon) == explicit
+
+    def test_count_wakes_monotone_in_horizon(self, rng):
+        sched = WakeSchedule(5, rng, mu=10.0, sigma=2.0)
+        for node in range(5):
+            counts = [sched.count_wakes(node, h) for h in range(0, 60, 7)]
+            assert all(b >= a for a, b in zip(counts, counts[1:]))

@@ -1,0 +1,175 @@
+"""Tests for peer-sampling services, including PeerSwap invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph import (
+    PeerSwapSampler,
+    StaticPeerSampler,
+    graph_from_views,
+    make_sampler,
+    validate_k_regular,
+)
+
+
+class TestStaticSampler:
+    def test_views_never_change(self, rng):
+        sampler = StaticPeerSampler(12, 3, rng)
+        before = sampler.views()
+        for node in range(12):
+            sampler.on_wake(node)
+        assert sampler.views() == before
+
+    def test_view_returns_copy(self, rng):
+        sampler = StaticPeerSampler(12, 3, rng)
+        view = sampler.view(0)
+        view.add(99)
+        assert 99 not in sampler.view(0)
+
+    def test_not_dynamic(self, rng):
+        assert not StaticPeerSampler(12, 3, rng).dynamic
+
+    def test_initial_graph_is_k_regular(self, rng):
+        sampler = StaticPeerSampler(20, 4, rng)
+        validate_k_regular(sampler.views(), 4)
+
+    def test_rejects_k_ge_n(self, rng):
+        with pytest.raises(ValueError):
+            StaticPeerSampler(4, 4, rng)
+
+
+class TestPeerSwap:
+    def test_is_dynamic(self, rng):
+        assert PeerSwapSampler(12, 3, rng).dynamic
+
+    def test_swap_preserves_k_regularity(self, rng):
+        sampler = PeerSwapSampler(16, 4, rng)
+        for _ in range(100):
+            sampler.on_wake(int(rng.integers(0, 16)))
+            sampler.validate()
+
+    def test_swap_preserves_regularity_k2(self, rng):
+        sampler = PeerSwapSampler(10, 2, rng)
+        for _ in range(200):
+            sampler.on_wake(int(rng.integers(0, 10)))
+        sampler.validate()
+
+    def test_swap_is_position_exchange(self, rng):
+        """After swapping i and j, i's view equals j's old view with i/j
+        relabeled, and vice versa."""
+        sampler = PeerSwapSampler(12, 3, rng)
+        i = 0
+        j = sorted(sampler.view(i))[0]
+        old_i, old_j = sampler.view(i), sampler.view(j)
+
+        def relabel(view):
+            out = set()
+            for v in view:
+                out.add({i: j, j: i}.get(v, v))
+            return out
+
+        sampler.swap(i, j)
+        assert sampler.view(i) == relabel(old_j) - {i}
+        assert sampler.view(j) == relabel(old_i) - {j}
+
+    def test_swap_with_self_is_noop(self, rng):
+        sampler = PeerSwapSampler(12, 3, rng)
+        before = sampler.views()
+        sampler.swap(3, 3)
+        assert sampler.views() == before
+
+    def test_swap_non_neighbors_also_valid(self, rng):
+        sampler = PeerSwapSampler(16, 3, rng)
+        non_neighbors = [
+            j for j in range(16) if j != 0 and j not in sampler.view(0)
+        ]
+        sampler.swap(0, non_neighbors[0])
+        sampler.validate()
+
+    def test_swap_preserves_edge_multiset(self, rng):
+        """The graph after a swap is isomorphic to the graph before
+        (same degree sequence, same number of edges)."""
+        sampler = PeerSwapSampler(14, 4, rng)
+        edges_before = graph_from_views(sampler.views()).number_of_edges()
+        for _ in range(50):
+            sampler.on_wake(int(rng.integers(0, 14)))
+        edges_after = graph_from_views(sampler.views()).number_of_edges()
+        assert edges_before == edges_after
+
+    def test_views_eventually_change(self, rng):
+        sampler = PeerSwapSampler(16, 3, rng)
+        before = sampler.views()
+        for _ in range(30):
+            sampler.on_wake(int(rng.integers(0, 16)))
+        assert sampler.views() != before
+
+    @given(
+        n=st.sampled_from([8, 12, 16]),
+        k=st.sampled_from([2, 3, 4]),
+        seed=st.integers(0, 1000),
+        swaps=st.integers(1, 60),
+    )
+    def test_property_regularity_invariant(self, n, k, seed, swaps):
+        if (n * k) % 2:
+            return
+        rng = np.random.default_rng(seed)
+        sampler = PeerSwapSampler(n, k, rng)
+        for _ in range(swaps):
+            sampler.on_wake(int(rng.integers(0, n)))
+        sampler.validate()
+
+
+class TestFactory:
+    def test_make_sampler_static(self, rng):
+        assert isinstance(make_sampler(False, 10, 2, rng), StaticPeerSampler)
+
+    def test_make_sampler_dynamic(self, rng):
+        assert isinstance(make_sampler(True, 10, 2, rng), PeerSwapSampler)
+
+
+class TestFreshGraphSampler:
+    def test_is_dynamic(self, rng):
+        from repro.graph import FreshGraphSampler
+
+        assert FreshGraphSampler(12, 3, rng).dynamic
+
+    def test_resamples_after_n_wakes(self, rng):
+        from repro.graph import FreshGraphSampler
+
+        sampler = FreshGraphSampler(12, 3, rng, resample_every=5)
+        before = sampler.views()
+        for i in range(4):
+            sampler.on_wake(i % 12)
+        assert sampler.views() == before  # not yet
+        sampler.on_wake(0)
+        assert sampler.views() != before  # redrawn
+
+    def test_stays_k_regular_after_resample(self, rng):
+        from repro.graph import FreshGraphSampler
+
+        sampler = FreshGraphSampler(16, 4, rng, resample_every=3)
+        for i in range(30):
+            sampler.on_wake(i % 16)
+        validate_k_regular(sampler.views(), 4)
+
+    def test_rejects_bad_period(self, rng):
+        from repro.graph import FreshGraphSampler
+
+        with pytest.raises(ValueError):
+            FreshGraphSampler(12, 3, rng, resample_every=0)
+
+    def test_registry_contains_all(self, rng):
+        from repro.graph import SAMPLERS, make_sampler_by_name
+
+        assert set(SAMPLERS) == {"static", "peerswap", "fresh"}
+        for name in SAMPLERS:
+            sampler = make_sampler_by_name(name, 10, 2, rng)
+            assert sampler.n_nodes == 10
+
+    def test_unknown_name_rejected(self, rng):
+        from repro.graph import make_sampler_by_name
+
+        with pytest.raises(ValueError):
+            make_sampler_by_name("ring", 10, 2, rng)

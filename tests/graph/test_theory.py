@@ -1,0 +1,73 @@
+"""Tests validating the simulator against random-graph spectral theory."""
+
+import numpy as np
+import pytest
+
+from repro.graph import mixing_matrix
+from repro.graph.theory import (
+    empirical_lambda2,
+    predicted_static_mixing_time,
+    ramanujan_lambda2,
+    spectral_gap,
+)
+
+
+class TestRamanujanPrediction:
+    @pytest.mark.parametrize("k", [5, 10, 25])
+    def test_prediction_matches_empirical(self, k, rng):
+        """Friedman: random k-regular graphs are nearly Ramanujan, so
+        the closed form should match sampled graphs within a few
+        percent at n=150 (the paper's scale)."""
+        predicted = ramanujan_lambda2(k)
+        measured, std = empirical_lambda2(150, k, samples=5, rng=rng)
+        assert measured == pytest.approx(predicted, rel=0.10)
+
+    def test_k2_degenerates_to_one(self):
+        assert ramanujan_lambda2(2) == 1.0
+
+    def test_monotone_decreasing_in_k(self):
+        values = [ramanujan_lambda2(k) for k in (3, 5, 10, 25)]
+        assert all(b < a for a, b in zip(values, values[1:]))
+
+    def test_rejects_k1(self):
+        with pytest.raises(ValueError):
+            ramanujan_lambda2(1)
+
+
+class TestMixingTimePrediction:
+    def test_matches_static_simulation(self, rng):
+        """Predicted T for lambda2^T < eps matches the simulated static
+        decay within ~25%."""
+        from repro.graph import simulate_lambda2_decay
+
+        k, eps = 5, 1e-3
+        predicted = predicted_static_mixing_time(k, eps)
+        decay = simulate_lambda2_decay(150, k, 40, dynamic=False, runs=3, rng=rng)
+        measured = 1 + int(np.argmax(decay.mean < eps))
+        assert decay.mean[-1] < eps  # reached within horizon
+        assert measured == pytest.approx(predicted, rel=0.25)
+
+    def test_infinite_for_k2(self):
+        assert predicted_static_mixing_time(2, 0.01) == float("inf")
+
+    def test_smaller_epsilon_needs_more_time(self):
+        assert predicted_static_mixing_time(5, 1e-6) > (
+            predicted_static_mixing_time(5, 1e-2)
+        )
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            predicted_static_mixing_time(5, 1.5)
+
+
+class TestSpectralGap:
+    def test_complement_of_lambda2(self, rng):
+        w = mixing_matrix(20, 4, rng)
+        from repro.graph import lambda2
+
+        assert spectral_gap(w) == pytest.approx(1.0 - lambda2(w))
+
+    def test_larger_k_larger_gap(self, rng):
+        g2 = spectral_gap(mixing_matrix(30, 2, rng))
+        g10 = spectral_gap(mixing_matrix(30, 10, rng))
+        assert g10 > g2

@@ -1,0 +1,85 @@
+"""Tests for k-regular graph construction and validation."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import (
+    graph_from_views,
+    is_connected,
+    random_regular_graph,
+    validate_k_regular,
+    views_from_graph,
+)
+
+
+class TestRandomRegular:
+    @pytest.mark.parametrize("n,k", [(10, 2), (20, 5), (30, 3)])
+    def test_degrees(self, n, k, rng):
+        graph = random_regular_graph(n, k, rng)
+        assert all(deg == k for _, deg in graph.degree())
+
+    def test_connected_by_default(self, rng):
+        for _ in range(5):
+            graph = random_regular_graph(20, 2, rng)
+            assert nx.is_connected(graph)
+
+    def test_rejects_k_ge_n(self, rng):
+        with pytest.raises(ValueError):
+            random_regular_graph(5, 5, rng)
+
+    def test_rejects_odd_nk(self, rng):
+        with pytest.raises(ValueError):
+            random_regular_graph(5, 3, rng)
+
+    def test_rejects_nonpositive(self, rng):
+        with pytest.raises(ValueError):
+            random_regular_graph(0, 2, rng)
+
+    def test_paper_configurations_feasible(self, rng):
+        """All (n=150, k in {2,5,10,25}) pairs of the paper sample fine."""
+        for k in (2, 5, 10, 25):
+            graph = random_regular_graph(150, k, rng)
+            assert graph.number_of_nodes() == 150
+
+
+class TestViewsConversion:
+    def test_roundtrip(self, rng):
+        graph = random_regular_graph(16, 4, rng)
+        views = views_from_graph(graph)
+        back = graph_from_views(views)
+        assert set(back.edges) == set(graph.edges)
+
+    def test_views_are_symmetric(self, rng):
+        views = views_from_graph(random_regular_graph(12, 3, rng))
+        for i, view in enumerate(views):
+            for j in view:
+                assert i in views[j]
+
+    def test_graph_from_views_rejects_asymmetry(self):
+        with pytest.raises(ValueError):
+            graph_from_views([{1}, set()])
+
+    def test_graph_from_views_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            graph_from_views([{0}])
+
+    def test_graph_from_views_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            graph_from_views([{5}, {0}])
+
+    def test_validate_k_regular_accepts_regular(self, rng):
+        views = views_from_graph(random_regular_graph(10, 4, rng))
+        validate_k_regular(views, 4)
+
+    def test_validate_k_regular_rejects_wrong_degree(self, rng):
+        views = views_from_graph(random_regular_graph(10, 4, rng))
+        with pytest.raises(ValueError):
+            validate_k_regular(views, 3)
+
+    def test_is_connected(self, rng):
+        views = views_from_graph(random_regular_graph(10, 2, rng))
+        assert is_connected(views)
+        # Two disjoint triangles are not connected.
+        disjoint = [{1, 2}, {0, 2}, {0, 1}, {4, 5}, {3, 5}, {3, 4}]
+        assert not is_connected(disjoint)

@@ -1,0 +1,95 @@
+"""Tests for model evaluation metrics (Section 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    ModelEvaluation,
+    accuracy,
+    evaluate_model,
+    generalization_error,
+    predict_proba,
+)
+from repro.nn import CrossEntropyLoss, SGD, build_mlp
+
+
+@pytest.fixture
+def trained_model(rng):
+    """MLP overfit on 20 samples, plus those samples and fresh ones."""
+    model = build_mlp(10, 3, hidden=(32,), rng=rng)
+    x_train = rng.normal(size=(20, 10))
+    y_train = rng.integers(0, 3, 20)
+    loss_fn = CrossEntropyLoss()
+    opt = SGD(model.parameters(), lr=0.2, momentum=0.9)
+    for _ in range(120):
+        opt.zero_grad()
+        loss_fn(model.forward(x_train), y_train)
+        model.backward(loss_fn.backward())
+        opt.step()
+    x_test = rng.normal(size=(30, 10))
+    y_test = rng.integers(0, 3, 30)
+    return model, (x_train, y_train), (x_test, y_test)
+
+
+class TestPredictProba:
+    def test_rows_sum_to_one(self, trained_model):
+        model, (x, _), _ = trained_model
+        probs = predict_proba(model, x)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_batching_matches_full_pass(self, trained_model, rng):
+        model, (x, _), _ = trained_model
+        full = predict_proba(model, x, batch_size=1000)
+        batched = predict_proba(model, x, batch_size=3)
+        np.testing.assert_allclose(full, batched)
+
+    def test_restores_training_mode(self, trained_model):
+        model, (x, _), _ = trained_model
+        model.train()
+        predict_proba(model, x)
+        assert model.training
+
+    def test_eval_mode_during_inference(self, trained_model):
+        model, (x, _), _ = trained_model
+        model.eval()
+        predict_proba(model, x)
+        assert not model.training
+
+
+class TestAccuracy:
+    def test_overfit_model_has_high_train_accuracy(self, trained_model):
+        model, (x, y), _ = trained_model
+        assert accuracy(model, x, y) > 0.9
+
+    def test_random_labels_give_chance_level_on_test(self, trained_model):
+        model, _, (x, y) = trained_model
+        # Random unseen data: accuracy near 1/3 (generous margin).
+        assert accuracy(model, x, y) < 0.8
+
+    def test_rejects_empty(self, trained_model):
+        model, _, _ = trained_model
+        with pytest.raises(ValueError):
+            accuracy(model, np.zeros((0, 10)), np.zeros(0))
+
+
+class TestGeneralizationError:
+    def test_positive_for_overfit_model(self, trained_model):
+        model, (x_tr, y_tr), (x_te, y_te) = trained_model
+        assert generalization_error(model, x_tr, y_tr, x_te, y_te) > 0.2
+
+
+class TestEvaluateModel:
+    def test_full_evaluation(self, trained_model, rng):
+        model, (x_tr, y_tr), (x_te, y_te) = trained_model
+        ev = evaluate_model(
+            model, 3, x_te, y_te, x_tr, y_tr, x_te, y_te, rng=rng
+        )
+        assert isinstance(ev, ModelEvaluation)
+        assert ev.node_id == 3
+        assert ev.local_train_accuracy > ev.local_test_accuracy
+        assert ev.generalization_error == pytest.approx(
+            ev.local_train_accuracy - ev.local_test_accuracy
+        )
+        # Memorized members leak: attack beats random guessing.
+        assert ev.mia_accuracy > 0.5
+        assert 0.0 <= ev.mia_tpr_at_1_fpr <= 1.0

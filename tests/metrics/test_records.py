@@ -1,0 +1,118 @@
+"""Tests for round records and run aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import ModelEvaluation, RoundRecord, RunResult
+
+
+def evaluation(node_id=0, test=0.5, train=0.9, local_test=0.6, mia=0.7, tpr=0.1):
+    return ModelEvaluation(
+        node_id=node_id,
+        global_test_accuracy=test,
+        local_train_accuracy=train,
+        local_test_accuracy=local_test,
+        mia_accuracy=mia,
+        mia_tpr_at_1_fpr=tpr,
+        mia_auc=0.75,
+    )
+
+
+class TestRoundRecord:
+    def test_from_evaluations_averages(self):
+        record = RoundRecord.from_evaluations(
+            0,
+            [evaluation(0, test=0.4, mia=0.6), evaluation(1, test=0.6, mia=0.8)],
+        )
+        assert record.global_test_accuracy == pytest.approx(0.5)
+        assert record.mia_accuracy == pytest.approx(0.7)
+
+    def test_max_tpr_tracked(self):
+        record = RoundRecord.from_evaluations(
+            0, [evaluation(tpr=0.1), evaluation(tpr=0.5)]
+        )
+        assert record.max_mia_tpr_at_1_fpr == pytest.approx(0.5)
+        assert record.mia_tpr_at_1_fpr == pytest.approx(0.3)
+
+    def test_generalization_error(self):
+        record = RoundRecord.from_evaluations(
+            2, [evaluation(train=0.9, local_test=0.6)]
+        )
+        assert record.generalization_error == pytest.approx(0.3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RoundRecord.from_evaluations(0, [])
+
+    def test_optional_fields(self):
+        record = RoundRecord.from_evaluations(
+            0, [evaluation()], messages_sent=42, canary_tpr_at_1_fpr=0.9,
+            epsilon=12.5,
+        )
+        assert record.messages_sent == 42
+        assert record.canary_tpr_at_1_fpr == 0.9
+        assert record.epsilon == 12.5
+
+
+class TestRunResult:
+    def make_run(self):
+        run = RunResult("demo")
+        for i, (test, mia, tpr) in enumerate(
+            [(0.3, 0.6, 0.05), (0.5, 0.7, 0.10), (0.45, 0.75, 0.08)]
+        ):
+            run.append(
+                RoundRecord.from_evaluations(
+                    i,
+                    [evaluation(test=test, mia=mia, tpr=tpr)],
+                    messages_sent=10,
+                )
+            )
+        return run
+
+    def test_series_extraction(self):
+        run = self.make_run()
+        np.testing.assert_allclose(
+            run.series("global_test_accuracy"), [0.3, 0.5, 0.45]
+        )
+
+    def test_series_handles_none(self):
+        run = RunResult("x")
+        run.append(RoundRecord.from_evaluations(0, [evaluation()]))
+        series = run.series("canary_tpr_at_1_fpr")
+        assert np.isnan(series[0])
+
+    def test_max_properties(self):
+        run = self.make_run()
+        assert run.max_test_accuracy == pytest.approx(0.5)
+        assert run.max_mia_accuracy == pytest.approx(0.75)
+        assert run.max_mia_tpr == pytest.approx(0.10)
+
+    def test_total_messages(self):
+        assert self.make_run().total_messages == 30
+
+    def test_summary_keys(self):
+        summary = self.make_run().summary()
+        assert summary["config"] == "demo"
+        assert summary["rounds"] == 3
+        assert "max_test_accuracy" in summary
+        assert "final_generalization_error" in summary
+
+
+class TestModelSpreadField:
+    def test_default_zero(self):
+        record = RoundRecord.from_evaluations(0, [evaluation()])
+        assert record.model_spread == 0.0
+
+    def test_passed_through(self):
+        record = RoundRecord.from_evaluations(
+            0, [evaluation()], model_spread=1.25
+        )
+        assert record.model_spread == 1.25
+
+    def test_series_extraction(self):
+        run = RunResult("x")
+        for i, s in enumerate([0.5, 0.4, 0.3]):
+            run.append(
+                RoundRecord.from_evaluations(i, [evaluation()], model_spread=s)
+            )
+        np.testing.assert_allclose(run.series("model_spread"), [0.5, 0.4, 0.3])

@@ -1,0 +1,92 @@
+"""Tests for the auxiliary layers (AvgPool2d, LeakyReLU, Sigmoid, Tanh)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import AvgPool2d, LeakyReLU, Sigmoid, Tanh
+
+from tests.nn.test_layers import check_input_gradient
+
+
+class TestAvgPool2d:
+    def test_forward_values(self):
+        layer = AvgPool2d(2)
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = layer.forward(x)
+        np.testing.assert_allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_rejects_indivisible(self, rng):
+        with pytest.raises(ValueError):
+            AvgPool2d(3).forward(rng.normal(size=(1, 1, 4, 4)))
+
+    def test_input_gradient(self, rng, fd_grad):
+        check_input_gradient(AvgPool2d(2), rng.normal(size=(2, 2, 4, 4)), fd_grad)
+
+    def test_gradient_spreads_uniformly(self):
+        layer = AvgPool2d(2)
+        layer.forward(np.zeros((1, 1, 2, 2)))
+        grad = layer.backward(np.array([[[[1.0]]]]))
+        np.testing.assert_allclose(grad, 0.25)
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            AvgPool2d(2).backward(np.zeros((1, 1, 1, 1)))
+
+
+class TestLeakyReLU:
+    def test_forward(self):
+        layer = LeakyReLU(0.1)
+        x = np.array([-2.0, 0.0, 3.0])
+        np.testing.assert_allclose(layer.forward(x), [-0.2, 0.0, 3.0])
+
+    def test_zero_slope_is_relu(self, rng):
+        x = rng.normal(size=(5, 5))
+        from repro.nn import ReLU
+
+        np.testing.assert_allclose(
+            LeakyReLU(0.0).forward(x), ReLU().forward(x)
+        )
+
+    def test_input_gradient(self, rng, fd_grad):
+        check_input_gradient(LeakyReLU(0.2), rng.normal(size=(3, 4)), fd_grad)
+
+    def test_rejects_negative_slope(self):
+        with pytest.raises(ValueError):
+            LeakyReLU(-0.1)
+
+
+class TestSigmoid:
+    def test_range(self, rng):
+        out = Sigmoid().forward(rng.normal(size=(10, 10)) * 10)
+        assert np.all(out > 0) and np.all(out < 1)
+
+    def test_midpoint(self):
+        assert Sigmoid().forward(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_stable_for_extremes(self):
+        out = Sigmoid().forward(np.array([-1000.0, 1000.0]))
+        assert np.isfinite(out).all()
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[1] == pytest.approx(1.0, abs=1e-12)
+
+    def test_input_gradient(self, rng, fd_grad):
+        check_input_gradient(Sigmoid(), rng.normal(size=(3, 4)), fd_grad)
+
+
+class TestTanh:
+    def test_range(self, rng):
+        out = Tanh().forward(rng.normal(size=(10, 10)) * 10)
+        assert np.all(np.abs(out) <= 1)
+
+    def test_odd_function(self, rng):
+        x = rng.normal(size=(4, 4))
+        np.testing.assert_allclose(
+            Tanh().forward(x), -Tanh().forward(-x)
+        )
+
+    def test_input_gradient(self, rng, fd_grad):
+        check_input_gradient(Tanh(), rng.normal(size=(3, 4)), fd_grad)
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            Tanh().backward(np.zeros(2))

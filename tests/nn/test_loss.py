@@ -1,0 +1,100 @@
+"""Tests for loss functions, including gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import CrossEntropyLoss, MSELoss
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_give_log_c(self):
+        loss = CrossEntropyLoss()
+        logits = np.zeros((4, 10))
+        labels = np.array([0, 1, 2, 3])
+        assert loss(logits, labels) == pytest.approx(np.log(10))
+
+    def test_perfect_prediction_near_zero(self):
+        loss = CrossEntropyLoss()
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        labels = np.array([0, 1])
+        assert loss(logits, labels) == pytest.approx(0.0, abs=1e-6)
+
+    def test_gradient_matches_finite_differences(self, rng, fd_grad):
+        loss = CrossEntropyLoss()
+        logits = rng.normal(size=(3, 5))
+        labels = np.array([1, 0, 4])
+
+        def scalar():
+            return loss.forward(logits, labels)
+
+        numeric = fd_grad(scalar, logits)
+        loss.forward(logits, labels)
+        analytic = loss.backward()
+        np.testing.assert_allclose(analytic, numeric, atol=1e-7)
+
+    def test_gradient_rows_sum_to_zero(self, rng):
+        loss = CrossEntropyLoss()
+        logits = rng.normal(size=(4, 6))
+        loss.forward(logits, np.array([0, 1, 2, 3]))
+        grad = loss.backward()
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_label_smoothing_increases_loss_on_confident_preds(self):
+        logits = np.array([[50.0, 0.0]])
+        labels = np.array([0])
+        plain = CrossEntropyLoss()(logits, labels)
+        smoothed = CrossEntropyLoss(label_smoothing=0.1)(logits, labels)
+        assert smoothed > plain
+
+    def test_label_smoothing_gradient(self, rng, fd_grad):
+        loss = CrossEntropyLoss(label_smoothing=0.2)
+        logits = rng.normal(size=(2, 4))
+        labels = np.array([0, 3])
+
+        def scalar():
+            return loss.forward(logits, labels)
+
+        numeric = fd_grad(scalar, logits)
+        loss.forward(logits, labels)
+        np.testing.assert_allclose(loss.backward(), numeric, atol=1e-7)
+
+    def test_rejects_bad_shapes(self):
+        loss = CrossEntropyLoss()
+        with pytest.raises(ValueError):
+            loss(np.zeros((2, 3, 4)), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            loss(np.zeros((2, 3)), np.array([0]))
+
+    def test_rejects_bad_smoothing(self):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss(label_smoothing=1.0)
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            CrossEntropyLoss().backward()
+
+
+class TestMSE:
+    def test_zero_for_equal_inputs(self, rng):
+        x = rng.normal(size=(3, 3))
+        assert MSELoss()(x, x.copy()) == 0.0
+
+    def test_value(self):
+        loss = MSELoss()
+        assert loss(np.array([1.0, 2.0]), np.array([0.0, 0.0])) == pytest.approx(2.5)
+
+    def test_gradient_matches_finite_differences(self, rng, fd_grad):
+        loss = MSELoss()
+        pred = rng.normal(size=(4, 2))
+        target = rng.normal(size=(4, 2))
+
+        def scalar():
+            return loss.forward(pred, target)
+
+        numeric = fd_grad(scalar, pred)
+        loss.forward(pred, target)
+        np.testing.assert_allclose(loss.backward(), numeric, atol=1e-7)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MSELoss()(np.zeros(2), np.zeros(3))

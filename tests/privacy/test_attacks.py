@@ -1,0 +1,103 @@
+"""Tests for the additional threshold attacks (entropy/confidence/loss)."""
+
+import numpy as np
+import pytest
+
+from repro.privacy import (
+    ATTACKS,
+    compare_attacks,
+    confidence_scores,
+    entropy_scores,
+    loss_scores,
+    run_attack,
+)
+
+
+def victim_outputs(rng, n=200, c=10, member_confidence=0.9):
+    """Simulated outputs: members are confidently correct, non-members
+    are near-uniform."""
+    member_labels = rng.integers(0, c, n)
+    member_probs = np.full((n, c), (1 - member_confidence) / (c - 1))
+    member_probs[np.arange(n), member_labels] = member_confidence
+    nonmember_labels = rng.integers(0, c, n)
+    nonmember_probs = rng.dirichlet(np.ones(c), size=n)
+    return member_probs, member_labels, nonmember_probs, nonmember_labels
+
+
+class TestScoreFunctions:
+    def test_entropy_low_for_confident(self):
+        confident = np.array([[0.98, 0.01, 0.01]])
+        uniform = np.array([[1 / 3, 1 / 3, 1 / 3]])
+        labels = np.array([0])
+        assert entropy_scores(confident, labels)[0] < entropy_scores(uniform, labels)[0]
+
+    def test_entropy_ignores_label(self):
+        probs = np.array([[0.98, 0.01, 0.01]])
+        a = entropy_scores(probs, np.array([0]))
+        b = entropy_scores(probs, np.array([2]))
+        assert a[0] == b[0]
+
+    def test_confidence_low_for_correct_confident(self):
+        probs = np.array([[0.9, 0.1], [0.1, 0.9]])
+        scores = confidence_scores(probs, np.array([0, 0]))
+        assert scores[0] < scores[1]  # first is confident in true label
+
+    def test_loss_matches_cross_entropy(self):
+        probs = np.array([[0.5, 0.5]])
+        scores = loss_scores(probs, np.array([0]))
+        assert scores[0] == pytest.approx(np.log(2))
+
+    def test_loss_handles_zero_prob(self):
+        probs = np.array([[0.0, 1.0]])
+        assert np.isfinite(loss_scores(probs, np.array([0]))[0])
+
+    @pytest.mark.parametrize("fn", [entropy_scores, confidence_scores, loss_scores])
+    def test_rejects_bad_shapes(self, fn):
+        with pytest.raises(ValueError):
+            fn(np.zeros(5), np.zeros(5, dtype=int))
+
+
+class TestAttackRegistry:
+    def test_four_attacks_registered(self):
+        assert set(ATTACKS) == {"mpe", "entropy", "confidence", "loss"}
+
+    def test_run_attack_unknown_name(self, rng):
+        m, ml, n, nl = victim_outputs(rng)
+        with pytest.raises(ValueError):
+            run_attack("shadow", m, ml, n, nl)
+
+    @pytest.mark.parametrize("name", sorted(ATTACKS))
+    def test_each_attack_beats_chance_on_separable_victim(self, name, rng):
+        m, ml, n, nl = victim_outputs(rng)
+        report = run_attack(name, m, ml, n, nl, rng=rng)
+        assert report.accuracy > 0.7
+        assert report.auc > 0.7
+
+    def test_compare_returns_all(self, rng):
+        results = compare_attacks(*victim_outputs(rng), rng=rng)
+        assert set(results) == set(ATTACKS)
+
+    def test_mpe_at_least_as_strong_as_entropy_on_wrong_confident(self, rng):
+        """MPE uses the label; plain entropy cannot distinguish a
+        confidently-wrong non-member from a confidently-right member.
+        Build a victim where non-members are confidently WRONG."""
+        c = 10
+        n = 300
+        member_labels = rng.integers(0, c, n)
+        member_probs = np.full((n, c), 0.01 / (c - 1))
+        member_probs[np.arange(n), member_labels] = 0.99
+        nonmember_labels = rng.integers(0, c, n)
+        wrong = (nonmember_labels + 1) % c
+        nonmember_probs = np.full((n, c), 0.01 / (c - 1))
+        nonmember_probs[np.arange(n), wrong] = 0.99
+        mpe = run_attack(
+            "mpe", member_probs, member_labels, nonmember_probs, nonmember_labels,
+            rng=rng,
+        )
+        ent = run_attack(
+            "entropy", member_probs, member_labels, nonmember_probs,
+            nonmember_labels, rng=rng,
+        )
+        assert mpe.accuracy > ent.accuracy + 0.3
+        assert mpe.accuracy > 0.95
+        assert ent.accuracy < 0.6

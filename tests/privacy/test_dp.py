@@ -1,0 +1,112 @@
+"""Tests for DP-SGD primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.privacy import DPSGDConfig, clip_per_sample, noisy_gradient
+
+
+def grad_list(rng, scale=1.0):
+    return [rng.normal(size=(3, 4)) * scale, rng.normal(size=4) * scale]
+
+
+def global_norm(grads):
+    return np.sqrt(sum(float((g**2).sum()) for g in grads))
+
+
+class TestConfig:
+    def test_valid(self):
+        DPSGDConfig(clip_norm=1.0, noise_multiplier=1.0)
+
+    def test_rejects_bad_clip(self):
+        with pytest.raises(ValueError):
+            DPSGDConfig(clip_norm=0.0)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            DPSGDConfig(noise_multiplier=-1.0)
+
+    def test_requires_sigma_or_target(self):
+        with pytest.raises(ValueError):
+            DPSGDConfig(noise_multiplier=None, target_epsilon=None)
+
+    def test_target_epsilon_alone_ok(self):
+        DPSGDConfig(noise_multiplier=None, target_epsilon=10.0)
+
+
+class TestClipping:
+    def test_large_gradient_clipped_to_norm(self, rng):
+        grads = grad_list(rng, scale=100.0)
+        clipped, norm = clip_per_sample(grads, clip_norm=1.0)
+        assert global_norm(clipped) == pytest.approx(1.0, rel=1e-9)
+        assert norm == pytest.approx(global_norm(grads))
+
+    def test_small_gradient_untouched(self, rng):
+        grads = grad_list(rng, scale=1e-4)
+        clipped, _ = clip_per_sample(grads, clip_norm=1.0)
+        for orig, c in zip(grads, clipped):
+            np.testing.assert_array_equal(orig, c)
+
+    def test_direction_preserved(self, rng):
+        grads = grad_list(rng, scale=50.0)
+        clipped, _ = clip_per_sample(grads, clip_norm=1.0)
+        # Clipping is a positive scalar multiple.
+        ratio = clipped[0] / grads[0]
+        assert np.allclose(ratio, ratio.flat[0])
+        assert ratio.flat[0] > 0
+
+    def test_zero_gradient_safe(self):
+        clipped, norm = clip_per_sample([np.zeros(3)], clip_norm=1.0)
+        assert norm == 0.0
+        np.testing.assert_array_equal(clipped[0], np.zeros(3))
+
+    @given(st.floats(0.1, 10.0), st.integers(0, 50))
+    def test_property_clipped_norm_bounded(self, clip, seed):
+        rng = np.random.default_rng(seed)
+        clipped, _ = clip_per_sample(grad_list(rng, scale=10.0), clip)
+        assert global_norm(clipped) <= clip * (1 + 1e-9)
+
+
+class TestNoisyGradient:
+    def test_zero_noise_is_plain_average(self, rng):
+        grads = grad_list(rng)
+        config = DPSGDConfig(clip_norm=1.0, noise_multiplier=0.0)
+        out = noisy_gradient(grads, n_samples=4, config=config, rng=rng)
+        for g, o in zip(grads, out):
+            np.testing.assert_allclose(o, g / 4)
+
+    def test_noise_scale_matches_sigma_times_clip(self):
+        rng = np.random.default_rng(0)
+        config = DPSGDConfig(clip_norm=2.0, noise_multiplier=3.0)
+        zeros = [np.zeros(20_000)]
+        out = noisy_gradient(zeros, n_samples=1, config=config, rng=rng)
+        assert out[0].std() == pytest.approx(6.0, rel=0.05)
+
+    def test_noise_divided_by_batch(self):
+        rng = np.random.default_rng(0)
+        config = DPSGDConfig(clip_norm=1.0, noise_multiplier=1.0)
+        zeros = [np.zeros(20_000)]
+        out = noisy_gradient(zeros, n_samples=10, config=config, rng=rng)
+        assert out[0].std() == pytest.approx(0.1, rel=0.05)
+
+    def test_rejects_nonpositive_batch(self, rng):
+        config = DPSGDConfig(clip_norm=1.0, noise_multiplier=1.0)
+        with pytest.raises(ValueError):
+            noisy_gradient([np.zeros(2)], 0, config, rng)
+
+    def test_rejects_unresolved_sigma(self, rng):
+        config = DPSGDConfig(noise_multiplier=None, target_epsilon=5.0)
+        with pytest.raises(ValueError):
+            noisy_gradient([np.zeros(2)], 1, config, rng)
+
+    def test_deterministic_given_rng(self):
+        config = DPSGDConfig(clip_norm=1.0, noise_multiplier=1.0)
+        a = noisy_gradient(
+            [np.zeros(10)], 2, config, np.random.default_rng(3)
+        )
+        b = noisy_gradient(
+            [np.zeros(10)], 2, config, np.random.default_rng(3)
+        )
+        np.testing.assert_array_equal(a[0], b[0])

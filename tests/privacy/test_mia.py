@@ -1,0 +1,267 @@
+"""Tests for the MPE membership inference attack and its metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.privacy import (
+    AttackData,
+    build_attack_data,
+    mia_accuracy,
+    mia_report,
+    mpe_scores,
+    prediction_entropy,
+    roc_curve,
+    tpr_at_fpr,
+)
+
+
+def uniform_probs(n, c):
+    return np.full((n, c), 1.0 / c)
+
+
+def confident_probs(n, c, label, confidence=0.99):
+    probs = np.full((n, c), (1.0 - confidence) / (c - 1))
+    probs[:, label] = confidence
+    return probs
+
+
+class TestMPEScores:
+    def test_confident_correct_has_low_score(self):
+        c = 5
+        confident = mpe_scores(confident_probs(1, c, 2), np.array([2]))
+        uniform = mpe_scores(uniform_probs(1, c), np.array([2]))
+        assert confident[0] < uniform[0]
+
+    def test_confident_wrong_has_high_score(self):
+        c = 5
+        wrong = mpe_scores(confident_probs(1, c, 0), np.array([2]))
+        uniform = mpe_scores(uniform_probs(1, c), np.array([2]))
+        assert wrong[0] > uniform[0]
+
+    def test_nonnegative(self, rng):
+        probs = rng.dirichlet(np.ones(8), size=50)
+        labels = rng.integers(0, 8, 50)
+        assert np.all(mpe_scores(probs, labels) >= 0)
+
+    def test_matches_equation3_naive_implementation(self, rng):
+        """Vectorized scores equal a direct transcription of Eq. (3)."""
+        probs = rng.dirichlet(np.ones(6), size=20)
+        labels = rng.integers(0, 6, 20)
+        fast = mpe_scores(probs, labels)
+        eps = 1e-12
+        for i in range(20):
+            p = np.clip(probs[i], eps, 1 - eps)
+            y = labels[i]
+            value = -(1 - p[y]) * np.log(p[y])
+            for yp in range(6):
+                if yp != y:
+                    value -= p[yp] * np.log(1 - p[yp])
+            assert fast[i] == pytest.approx(value, rel=1e-9)
+
+    def test_handles_hard_zero_and_one_probs(self):
+        probs = np.array([[1.0, 0.0], [0.0, 1.0]])
+        scores = mpe_scores(probs, np.array([0, 0]))
+        assert np.isfinite(scores).all()
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            mpe_scores(np.zeros(5), np.zeros(5, dtype=int))
+        with pytest.raises(ValueError):
+            mpe_scores(np.zeros((5, 2)), np.zeros(4, dtype=int))
+        with pytest.raises(ValueError):
+            mpe_scores(np.zeros((2, 2)), np.array([0, 5]))
+
+    @given(st.integers(2, 10), st.integers(1, 30), st.integers(0, 99))
+    def test_property_scores_nonnegative(self, c, n, seed):
+        rng = np.random.default_rng(seed)
+        probs = rng.dirichlet(np.ones(c), size=n)
+        labels = rng.integers(0, c, n)
+        assert np.all(mpe_scores(probs, labels) >= -1e-12)
+
+
+class TestPredictionEntropy:
+    def test_uniform_is_log_c(self):
+        ent = prediction_entropy(uniform_probs(3, 4))
+        np.testing.assert_allclose(ent, np.log(4))
+
+    def test_onehot_is_zero(self):
+        probs = np.array([[1.0, 0.0, 0.0]])
+        assert prediction_entropy(probs)[0] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestAttackData:
+    def test_balancing(self, rng):
+        data = build_attack_data(rng.normal(size=100), rng.normal(size=40), rng=rng)
+        assert data.membership.sum() == 40
+        assert len(data) == 80
+
+    def test_no_balancing(self, rng):
+        data = build_attack_data(
+            rng.normal(size=100), rng.normal(size=40), balance=False
+        )
+        assert len(data) == 140
+
+    def test_rejects_empty_side(self):
+        with pytest.raises(ValueError):
+            build_attack_data(np.array([]), np.array([1.0]))
+
+    def test_rejects_nonbinary_membership(self):
+        with pytest.raises(ValueError):
+            AttackData(np.zeros(2), np.array([0, 2]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            AttackData(np.zeros(3), np.zeros(2, dtype=int))
+
+
+class TestMIAAccuracy:
+    def test_perfect_separation_gives_one(self):
+        data = build_attack_data(np.zeros(10), np.ones(10), balance=False)
+        assert mia_accuracy(data) == 1.0
+
+    def test_identical_scores_give_half(self):
+        data = build_attack_data(np.ones(10), np.ones(10), balance=False)
+        assert mia_accuracy(data) == pytest.approx(0.5)
+
+    def test_at_least_half_on_balanced_data(self, rng):
+        """The optimal threshold can always predict all-member or
+        all-non-member, so balanced accuracy is >= 0.5."""
+        for seed in range(5):
+            r = np.random.default_rng(seed)
+            data = build_attack_data(r.normal(size=50), r.normal(size=50), rng=r)
+            assert mia_accuracy(data) >= 0.5
+
+    def test_inverted_separation_still_uses_le_threshold(self):
+        """Members scoring HIGHER than non-members (inverted signal)
+        cannot exceed 0.5 by a <=-threshold attack on balanced data —
+        matches the paper's one-sided attack definition."""
+        data = build_attack_data(np.ones(10), np.zeros(10), balance=False)
+        assert mia_accuracy(data) == pytest.approx(0.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            mia_accuracy(AttackData(np.array([]), np.array([], dtype=int)))
+
+    @given(st.integers(0, 100))
+    def test_property_accuracy_in_unit_interval(self, seed):
+        rng = np.random.default_rng(seed)
+        data = build_attack_data(
+            rng.normal(size=20), rng.normal(size=20), rng=rng
+        )
+        assert 0.0 <= mia_accuracy(data) <= 1.0
+
+
+class TestROC:
+    def test_endpoints(self, rng):
+        data = build_attack_data(rng.normal(size=30), rng.normal(size=30), rng=rng)
+        fpr, tpr = roc_curve(data)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+
+    def test_monotone(self, rng):
+        data = build_attack_data(rng.normal(size=50), rng.normal(size=50), rng=rng)
+        fpr, tpr = roc_curve(data)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+
+    def test_requires_both_classes(self):
+        with pytest.raises(ValueError):
+            roc_curve(AttackData(np.zeros(3), np.ones(3, dtype=int)))
+
+    def test_tpr_at_fpr_perfect(self):
+        data = build_attack_data(np.zeros(100), np.ones(100), balance=False)
+        assert tpr_at_fpr(data, 0.01) == 1.0
+
+    def test_tpr_at_fpr_random_is_small(self, rng):
+        member = rng.normal(size=2000)
+        nonmember = rng.normal(size=2000)
+        data = build_attack_data(member, nonmember, balance=False)
+        assert tpr_at_fpr(data, 0.01) < 0.1
+
+    def test_tpr_at_low_fpr_le_than_at_high_fpr(self, rng):
+        member = rng.normal(loc=-0.5, size=300)
+        nonmember = rng.normal(size=300)
+        data = build_attack_data(member, nonmember, balance=False)
+        assert tpr_at_fpr(data, 0.01) <= tpr_at_fpr(data, 0.1)
+
+
+class TestReport:
+    def test_report_fields(self, rng):
+        member = rng.normal(loc=-1.0, size=100)
+        nonmember = rng.normal(size=100)
+        report = mia_report(build_attack_data(member, nonmember, rng=rng))
+        assert 0.5 <= report.accuracy <= 1.0
+        assert 0.0 <= report.tpr_at_1_fpr <= 1.0
+        assert 0.5 <= report.auc <= 1.0
+        assert report.n_members == report.n_nonmembers == 100
+
+    def test_auc_near_half_for_random(self, rng):
+        data = build_attack_data(
+            rng.normal(size=3000), rng.normal(size=3000), rng=rng
+        )
+        assert mia_report(data).auc == pytest.approx(0.5, abs=0.05)
+
+    def test_stronger_separation_higher_auc(self, rng):
+        weak = mia_report(
+            build_attack_data(
+                rng.normal(-0.2, 1, 500), rng.normal(0, 1, 500), rng=rng
+            )
+        )
+        strong = mia_report(
+            build_attack_data(
+                rng.normal(-2.0, 1, 500), rng.normal(0, 1, 500), rng=rng
+            )
+        )
+        assert strong.auc > weak.auc
+
+
+class TestThresholdAttackProperties:
+    """Property tests on the threshold-attack machinery."""
+
+    @given(st.integers(0, 60))
+    def test_accuracy_invariant_to_monotone_transform(self, seed):
+        """The optimal-threshold attack depends only on score RANKS, so
+        any strictly increasing transform leaves accuracy unchanged."""
+        r = np.random.default_rng(seed)
+        member = r.normal(size=30)
+        nonmember = r.normal(loc=0.5, size=30)
+        plain = build_attack_data(member, nonmember, balance=False)
+        warped = build_attack_data(
+            np.exp(member), np.exp(nonmember), balance=False
+        )
+        assert mia_accuracy(plain) == pytest.approx(mia_accuracy(warped))
+
+    @given(st.integers(0, 60))
+    def test_tpr_monotone_in_fpr_budget(self, seed):
+        r = np.random.default_rng(seed)
+        data = build_attack_data(
+            r.normal(-0.3, 1, 40), r.normal(0, 1, 40), balance=False
+        )
+        budgets = [0.01, 0.05, 0.1, 0.5, 1.0]
+        values = [tpr_at_fpr(data, b) for b in budgets]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    @given(st.integers(0, 60))
+    def test_shifting_members_down_never_hurts(self, seed):
+        """Moving member scores strictly lower (more member-like)
+        cannot decrease attack accuracy."""
+        r = np.random.default_rng(seed)
+        member = r.normal(size=25)
+        nonmember = r.normal(size=25)
+        base = mia_accuracy(build_attack_data(member, nonmember, balance=False))
+        shifted = mia_accuracy(
+            build_attack_data(member - 10.0, nonmember, balance=False)
+        )
+        assert shifted >= base - 1e-12
+
+    @given(st.integers(0, 60))
+    def test_roc_curve_valid_rates(self, seed):
+        r = np.random.default_rng(seed)
+        data = build_attack_data(
+            r.normal(size=20), r.normal(size=20), balance=False
+        )
+        fpr, tpr = roc_curve(data)
+        assert np.all((fpr >= 0) & (fpr <= 1))
+        assert np.all((tpr >= 0) & (tpr <= 1))

@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTables:
+    def test_tables_prints_both(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Table 2" in out
+        assert "purchase100" in out
+
+
+class TestStudy:
+    def test_minimal_run(self, capsys):
+        code = main(["study", "--rounds", "2", "--nodes", "6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l.strip() and l.lstrip()[0].isdigit()]
+        assert len(lines) == 2  # one row per round
+
+    def test_writes_json_and_csv(self, tmp_path, capsys):
+        out_json = tmp_path / "run.json"
+        out_csv = tmp_path / "run.csv"
+        code = main([
+            "study", "--rounds", "2", "--nodes", "6",
+            "--out", str(out_json), "--csv", str(out_csv),
+        ])
+        assert code == 0
+        payload = json.loads(out_json.read_text())
+        assert len(payload["rounds"]) == 2
+        assert out_csv.read_text().count("\n") >= 2
+
+    def test_dynamic_flag_recorded(self, tmp_path):
+        out_json = tmp_path / "run.json"
+        main([
+            "study", "--rounds", "1", "--nodes", "6", "--dynamic",
+            "--out", str(out_json),
+        ])
+        payload = json.loads(out_json.read_text())
+        assert payload["metadata"]["dynamic"] is True
+        assert payload["metadata"]["sampler"] == "peerswap"
+
+    def test_fresh_sampler_option(self, tmp_path):
+        out_json = tmp_path / "run.json"
+        main([
+            "study", "--rounds", "1", "--nodes", "6", "--sampler", "fresh",
+            "--out", str(out_json),
+        ])
+        payload = json.loads(out_json.read_text())
+        assert payload["metadata"]["sampler"] == "fresh"
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            main(["study", "--dataset", "imagenet"])
+
+
+class TestFigure:
+    def test_figure10_tiny(self, capsys):
+        code = main(["figure", "--id", "10", "--scale", "tiny"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "curves" in out
+        assert "static-2reg" in out
+
+    def test_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "--id", "99"])
+
+
+class TestFigurePlot:
+    def test_plot_flag_renders_chart(self, capsys):
+        code = main(["figure", "--id", "10", "--scale", "tiny", "--plot"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "o=static-2reg" in out
+        assert "|" in out  # chart body
