@@ -1,0 +1,23 @@
+# Development targets. The test suite needs only numpy + pytest
+# (pytest-benchmark and hypothesis for the full tier-1 run).
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-smoke lint
+
+## Tier-1 suite: unit + integration tests and benchmarks.
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Full benchmark harness (REPRO_BENCH_SCALE=tiny|small|paper).
+bench:
+	$(PYTHON) -m pytest benchmarks/ -q
+
+## Fast benchmark smoke: the engine-throughput acceptance checks.
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/test_engine_throughput.py -q
+
+## Static checks: byte-compile everything (no third-party linter needed).
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks examples

@@ -39,6 +39,16 @@ def _add_study_parser(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--canaries", type=int, default=0)
     p.add_argument("--drop-prob", type=float, default=0.0)
     p.add_argument("--failure-prob", type=float, default=0.0)
+    p.add_argument("--engine", default="dict", choices=["dict", "flat"],
+                   help="state engine: legacy dict-State or flat-buffer arena")
+    p.add_argument("--executor", default="serial",
+                   choices=["serial", "process"],
+                   help="local-update executor (flat engine only)")
+    p.add_argument("--workers", type=int, default=0,
+                   help="process-pool size; 0 = one per CPU (capped)")
+    p.add_argument("--arena-dtype", default="float64",
+                   choices=["float32", "float64"],
+                   help="flat-arena storage dtype")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default=None, help="write RunResult JSON here")
     p.add_argument("--csv", default=None, help="write per-round CSV here")
@@ -56,6 +66,10 @@ def _run_study(args: argparse.Namespace) -> int:
         "n_canaries": args.canaries,
         "drop_prob": args.drop_prob,
         "failure_prob": args.failure_prob,
+        "engine": args.engine,
+        "executor": args.executor,
+        "n_workers": args.workers,
+        "arena_dtype": args.arena_dtype,
         "seed": args.seed,
         "name": f"cli-{args.dataset}",
     }

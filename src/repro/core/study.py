@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
+from functools import partial
 
 import numpy as np
 
@@ -18,6 +19,7 @@ from repro.core.attacker import OmniscientObserver
 from repro.data.canary import make_canaries, inject_canaries
 from repro.data.datasets import make_dataset
 from repro.data.partition import make_node_splits
+from repro.gossip.engine import make_simulator
 from repro.gossip.protocols import make_protocol
 from repro.gossip.simulator import GossipSimulator, SimulatorConfig
 from repro.gossip.trainer import LocalTrainer, TrainerConfig
@@ -74,6 +76,11 @@ class StudyConfig:
     failure_prob: float = 0.0  # node-churn injection
     delay_ticks: int = 0  # network latency (ticks per message)
     delay_jitter: int = 0  # extra uniform latency in [0, jitter]
+    # Execution engine (DESIGN.md "Flat-state execution engine").
+    engine: str = "dict"  # "dict" (legacy) or "flat" (arena)
+    executor: str = "serial"  # "serial" or "process" (flat engine only)
+    n_workers: int = 0  # process-pool size; 0 = one per CPU (capped)
+    arena_dtype: str = "float64"  # flat-arena storage dtype
     # Local training (Table 2 columns).
     learning_rate: float = 0.01
     momentum: float = 0.9
@@ -140,7 +147,10 @@ class VulnerabilityStudy:
             )
             self.splits = inject_canaries(self.splits, self.canaries)
         # Model ---------------------------------------------------------
-        self.model = build_model(
+        # Kept as a picklable builder too: process-pool executor workers
+        # construct their own workspace Module from it.
+        self.model_builder = partial(
+            build_model,
             cfg.architecture,
             in_channels=_DATASET_CHANNELS.get(cfg.dataset, 3),
             image_size=cfg.image_size,
@@ -150,6 +160,7 @@ class VulnerabilityStudy:
             hidden=cfg.mlp_hidden,
             seed=cfg.seed,
         )
+        self.model = self.model_builder()
         self.initial_state = get_state(self.model)
         # Protocol / simulator -------------------------------------------
         trainer = LocalTrainer(
@@ -166,7 +177,7 @@ class VulnerabilityStudy:
             ),
         )
         self.protocol = make_protocol(cfg.protocol, trainer)
-        self.simulator = GossipSimulator(
+        self.simulator = make_simulator(
             SimulatorConfig(
                 n_nodes=cfg.n_nodes,
                 view_size=cfg.view_size,
@@ -177,11 +188,16 @@ class VulnerabilityStudy:
                 failure_prob=cfg.failure_prob,
                 delay_ticks=cfg.delay_ticks,
                 delay_jitter=cfg.delay_jitter,
+                engine=cfg.engine,
+                executor=cfg.executor,
+                n_workers=cfg.n_workers,
+                arena_dtype=cfg.arena_dtype,
                 seed=cfg.seed + 3,
             ),
             self.protocol,
             self.splits,
             self.initial_state,
+            model_builder=self.model_builder,
         )
         # DP: calibrated against the exact wake schedule, enforced with
         # a per-node update cap so the budget is a hard guarantee.
@@ -255,7 +271,10 @@ class VulnerabilityStudy:
     # -- execution --------------------------------------------------------
 
     def run(self) -> RunResult:
-        self.simulator.run(self.config.rounds, round_callback=self.observer)
+        try:
+            self.simulator.run(self.config.rounds, round_callback=self.observer)
+        finally:
+            self.simulator.close()
         result = RunResult(
             config_name=self.config.name,
             rounds=self.observer.records,
@@ -269,8 +288,11 @@ class VulnerabilityStudy:
                 "dp_epsilon": self.config.dp_epsilon,
                 "noise_multiplier": self._sigma,
                 "n_nodes": self.config.n_nodes,
+                "engine": self.config.engine,
+                "executor": self.config.executor,
                 "messages_dropped": self.simulator.messages_dropped,
                 "wakes_skipped": self.simulator.wakes_skipped,
+                "messages_undelivered": self.simulator.messages_undelivered,
             },
         )
         return result

@@ -19,8 +19,24 @@ from repro.gossip.protocols import (
     make_protocol,
 )
 from repro.gossip.simulator import GossipSimulator, SimulatorConfig
+from repro.gossip.engine import (
+    Executor,
+    FlatGossipSimulator,
+    ProcessExecutor,
+    SerialExecutor,
+    StateArena,
+    UpdateTask,
+    make_simulator,
+)
 
 __all__ = [
+    "Executor",
+    "FlatGossipSimulator",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "StateArena",
+    "UpdateTask",
+    "make_simulator",
     "WakeSchedule",
     "TickClock",
     "ModelMessage",

@@ -1,0 +1,529 @@
+"""Flat-buffer execution engine for the gossip simulator.
+
+The dict-``State`` hot path walks a Python dict per node, per message
+and per average. This engine stores every node's model as one row of a
+contiguous ``(n_nodes, dim)`` :class:`StateArena` (layout computed once
+by :class:`~repro.nn.flat.StateLayout`) so gossip aggregation becomes a
+single vectorized numpy op over rows, and hands the per-tick local
+updates of independently waking nodes to an :class:`Executor` — serial,
+or a process pool where each worker owns its own workspace
+:class:`~repro.nn.layers.Module`.
+
+Tick semantics (deliberately executor-order independent so serial and
+parallel runs are bit-identical): within one tick, first due delayed
+messages are delivered, then every surviving wake merges / trains /
+sends, and sends become visible to receivers only after all wakes of
+the tick have been processed. The legacy dict engine instead interleaves
+instant delivery with the wake loop; the two engines are therefore
+statistically equivalent but not bitwise comparable (see DESIGN.md).
+
+``GossipNode.state`` remains a live dict *view* over the node's arena
+row, so attacks, metrics and ``states()`` snapshots keep working
+unchanged on top of the flat representation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.data.partition import NodeSplit
+from repro.gossip.messages import ModelMessage
+from repro.gossip.node import GossipNode
+from repro.gossip.protocols import (
+    BaseGossipProtocol,
+    GossipProtocol,
+    SAMOProtocol,
+)
+from repro.gossip.simulator import GossipSimulator, SimulatorConfig
+from repro.gossip.trainer import LocalTrainer, TrainerConfig
+from repro.nn.flat import StateLayout
+from repro.nn.layers import Module
+from repro.nn.serialize import State, normalize_weights
+
+__all__ = [
+    "StateArena",
+    "UpdateTask",
+    "Executor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "FlatGossipSimulator",
+    "make_simulator",
+]
+
+
+class StateArena:
+    """All node models as rows of one contiguous ``(n_nodes, dim)`` array."""
+
+    def __init__(
+        self,
+        layout: StateLayout,
+        n_nodes: int,
+        dtype: np.dtype | str = np.float64,
+    ):
+        if n_nodes <= 0:
+            raise ValueError("n_nodes must be positive")
+        self.layout = layout
+        self.dtype = np.dtype(dtype)
+        self.data = np.zeros((n_nodes, layout.dim), dtype=self.dtype)
+
+    @property
+    def n_nodes(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.data.shape[1]
+
+    def row(self, node_id: int) -> np.ndarray:
+        """The node's flat model vector (a live view, not a copy)."""
+        return self.data[node_id]
+
+    def state_view(self, node_id: int) -> State:
+        """Dict-``State`` view over the node's row (compat layer)."""
+        return self.layout.unpack(self.data[node_id])
+
+    def load_state(self, node_id: int, state: State) -> None:
+        """Pack a dict state into the node's row (casting to the arena dtype)."""
+        self.layout.pack(state, out=self.data[node_id])
+
+    def write_row(self, node_id: int, vector: np.ndarray) -> None:
+        """Overwrite the node's row in place (views stay valid)."""
+        self.data[node_id][...] = vector
+
+    def average_rows(
+        self, node_ids: Sequence[int], weights: Sequence[float] | None = None
+    ) -> np.ndarray:
+        """Weighted average of the selected rows as one vectorized op."""
+        block = self.data[np.asarray(node_ids, dtype=np.intp)]
+        if weights is None:
+            return block.mean(axis=0)
+        w = np.asarray(normalize_weights(list(weights)), dtype=self.dtype)
+        return w @ block
+
+    def merge_row(self, node_id: int, payload: np.ndarray, weight: float) -> None:
+        """Pairwise merge ``row <- (1-weight)*row + weight*payload`` in place."""
+        row = self.data[node_id]
+        row *= 1.0 - weight
+        row += weight * np.asarray(payload, dtype=self.dtype)
+
+    def mix(self, weights: np.ndarray) -> np.ndarray:
+        """All nodes' aggregations as ONE op: ``weights @ data``.
+
+        ``weights`` is an ``(n_nodes, n_nodes)`` mixing matrix (row i =
+        the weights node i gives every model, zeros for non-neighbors);
+        one BLAS call replaces n_nodes dict-``State`` averages.
+        """
+        w = np.asarray(weights, dtype=self.dtype)
+        if w.shape != (self.n_nodes, self.n_nodes):
+            raise ValueError(
+                f"weights must be ({self.n_nodes}, {self.n_nodes}), got {w.shape}"
+            )
+        return w @ self.data
+
+    def apply_mix(self, weights: np.ndarray) -> None:
+        """In-place :meth:`mix`; existing state views remain live."""
+        self.data[...] = self.mix(weights)
+
+
+def mean_vectors(vectors: Sequence[np.ndarray]) -> np.ndarray:
+    """Uniform average of flat vectors as one vectorized op."""
+    if not vectors:
+        raise ValueError("cannot average zero vectors")
+    return np.stack(vectors, axis=0).mean(axis=0)
+
+
+@dataclass(frozen=True)
+class UpdateTask:
+    """One node's local update, shippable to a worker process."""
+
+    node_id: int
+    vector: np.ndarray
+    rng: np.random.Generator
+    session: int
+
+
+def _train_task(
+    trainer: LocalTrainer,
+    layout: StateLayout,
+    splits: list[tuple[np.ndarray, np.ndarray]],
+    task: UpdateTask,
+) -> tuple[np.ndarray, np.random.Generator]:
+    """Run one local update on a workspace trainer; shared by executors."""
+    x, y = splits[task.node_id]
+    state = layout.unpack(task.vector)
+    new_state = trainer.train(state, x, y, task.rng, session=task.session)
+    out = layout.pack(new_state, dtype=task.vector.dtype)
+    return out, task.rng
+
+
+class Executor:
+    """Runs a batch of independent local updates, preserving order."""
+
+    name = "abstract"
+
+    def train_batch(
+        self, tasks: list[UpdateTask]
+    ) -> list[tuple[np.ndarray, np.random.Generator]]:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+
+class SerialExecutor(Executor):
+    """In-process execution on the protocol's shared workspace model."""
+
+    name = "serial"
+
+    def __init__(
+        self,
+        trainer: LocalTrainer,
+        layout: StateLayout,
+        splits: Sequence[NodeSplit],
+    ):
+        self.trainer = trainer
+        self.layout = layout
+        self.splits = [(s.train.x, s.train.y) for s in splits]
+
+    def train_batch(
+        self, tasks: list[UpdateTask]
+    ) -> list[tuple[np.ndarray, np.random.Generator]]:
+        return [
+            _train_task(self.trainer, self.layout, self.splits, task)
+            for task in tasks
+        ]
+
+
+# Worker-process globals, populated once by the pool initializer so
+# model weights and training data are not re-pickled per task.
+_WORKSPACE: dict = {}
+
+
+def _worker_init(
+    model_builder: Callable[[], Module],
+    trainer_config: TrainerConfig,
+    layout: StateLayout,
+    splits: list[tuple[np.ndarray, np.ndarray]],
+) -> None:
+    _WORKSPACE["trainer"] = LocalTrainer(model_builder(), trainer_config)
+    _WORKSPACE["layout"] = layout
+    _WORKSPACE["splits"] = splits
+
+
+def _worker_train(
+    task: UpdateTask,
+) -> tuple[np.ndarray, np.random.Generator]:
+    return _train_task(
+        _WORKSPACE["trainer"], _WORKSPACE["layout"], _WORKSPACE["splits"], task
+    )
+
+
+class ProcessExecutor(Executor):
+    """Process-pool execution; each worker owns a workspace Module.
+
+    Generators travel with each task and come back mutated, so a node's
+    random stream advances exactly as it would serially — results are
+    bit-identical to :class:`SerialExecutor` for a fixed seed.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        model_builder: Callable[[], Module],
+        trainer_config: TrainerConfig,
+        layout: StateLayout,
+        splits: Sequence[NodeSplit],
+        n_workers: int = 0,
+    ):
+        if model_builder is None:
+            raise ValueError(
+                "the process executor needs a picklable model_builder "
+                "(e.g. functools.partial(build_model, ...)) to construct "
+                "per-worker workspace models"
+            )
+        from concurrent.futures import ProcessPoolExecutor
+
+        workers = n_workers or min(os.cpu_count() or 1, 8)
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(
+                model_builder,
+                trainer_config,
+                layout,
+                [(s.train.x, s.train.y) for s in splits],
+            ),
+        )
+
+    def train_batch(
+        self, tasks: list[UpdateTask]
+    ) -> list[tuple[np.ndarray, np.random.Generator]]:
+        return list(self._pool.map(_worker_train, tasks))
+
+    def close(self) -> None:
+        self._pool.shutdown()
+
+
+class FlatGossipSimulator(GossipSimulator):
+    """Gossip simulator running protocols on the flat-state arena.
+
+    Implements the SAMO and Base Gossip semantics directly over arena
+    rows (the protocol object supplies hyperparameters, the trainer and
+    the update cap). Within a tick, execution is phased — deliver,
+    wake/merge, batch-train, send — so the executor backend cannot
+    change results.
+    """
+
+    def __init__(
+        self,
+        config: SimulatorConfig,
+        protocol: GossipProtocol,
+        splits: list[NodeSplit],
+        initial_state: State,
+        keep_payloads: bool = False,
+        model_builder: Callable[[], Module] | None = None,
+    ):
+        super().__init__(config, protocol, splits, initial_state, keep_payloads)
+        if isinstance(protocol, SAMOProtocol):
+            self._mode = "samo"
+            self._merge_weight = 0.5
+        elif isinstance(protocol, BaseGossipProtocol):
+            self._mode = "base"
+            self._merge_weight = protocol.merge_weight
+        else:
+            raise ValueError(
+                f"flat engine does not support protocol {protocol.name!r}"
+            )
+        self.layout = StateLayout.from_state(initial_state)
+        self.arena = StateArena(
+            self.layout, config.n_nodes, dtype=config.arena_dtype
+        )
+        # Pack the shared initial model once and broadcast it into all
+        # rows; node states become live views over their row.
+        self.arena.data[:] = self.layout.pack(
+            initial_state, dtype=self.arena.dtype
+        )
+        for node in self.nodes:
+            node.state = self.arena.state_view(node.node_id)
+            node.inbox = []  # holds flat vectors under this engine
+        self.model_builder = model_builder
+        self._sessions = [0] * config.n_nodes
+        # Messages sent this tick, visible to receivers once the tick's
+        # wakes are all processed: (sender, receiver, vector).
+        self._pending: list[tuple[int, int, np.ndarray]] = []
+        # Built lazily so late config changes (DP installation swaps
+        # the trainer config and update cap) reach pool workers.
+        self._executor: Executor | None = None
+
+    def _node_initial_state(self, initial_state: State) -> State:
+        """No per-node dict copy: node states are rebound to arena views
+        right after construction, so the base engine's n_nodes deep
+        copies would be allocated only to be discarded."""
+        return initial_state
+
+    # -- executor -----------------------------------------------------
+
+    def executor(self) -> Executor:
+        if self._executor is None:
+            trainer = self.protocol.trainer
+            splits = [node.split for node in self.nodes]
+            if self.config.executor == "process":
+                self._executor = ProcessExecutor(
+                    self.model_builder,
+                    trainer.config,
+                    self.layout,
+                    splits,
+                    self.config.n_workers,
+                )
+            else:
+                self._executor = SerialExecutor(trainer, self.layout, splits)
+        return self._executor
+
+    def close(self) -> None:
+        """Release executor resources (worker processes)."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    # -- messaging ----------------------------------------------------
+
+    def _send_vector(self, sender: int, receiver: int, vector: np.ndarray) -> None:
+        delay = self._transmission_delay(sender, receiver)
+        if delay is None:
+            return
+        payload = vector.copy()  # copy-on-enqueue: freeze the bytes sent
+        # Building the dict view is per-slot work the log discards
+        # unless it actually retains payloads.
+        logged = self.layout.unpack(payload) if self.log.keep_payloads else {}
+        self.log.record(
+            ModelMessage(
+                sender=sender,
+                receiver=receiver,
+                tick=self.clock.tick,
+                payload=logged,
+            )
+        )
+        if delay == 0:
+            self._pending.append((sender, receiver, payload))
+        else:
+            heapq.heappush(
+                self._in_flight,
+                (self.clock.tick + delay, self._send_seq, sender, receiver, payload),
+            )
+            self._send_seq += 1
+
+    def _deliver_due(self) -> None:
+        while self._in_flight and self._in_flight[0][0] <= self.clock.tick:
+            _, _, sender, receiver, payload = heapq.heappop(self._in_flight)
+            self._pending.append((sender, receiver, payload))
+
+    def _flush_end_of_run(self) -> None:
+        self._deliver_due()
+        self._process_pending()
+
+    def _process_pending(self) -> None:
+        """Hand delivered messages to the protocol semantics."""
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        if self._mode == "samo":
+            # Algorithm 2 buffers on receive; merging happens on wake.
+            for _, receiver, payload in pending:
+                node = self.nodes[receiver]
+                node.inbox.append(payload)
+                node.models_received += 1
+            return
+        # Algorithm 1 merges pairwise and trains per reception. Batch
+        # in waves of distinct receivers so a node receiving twice in
+        # one flush still processes its messages sequentially.
+        while pending:
+            wave: list[tuple[int, int, np.ndarray]] = []
+            rest: list[tuple[int, int, np.ndarray]] = []
+            seen: set[int] = set()
+            for item in pending:
+                if item[1] in seen:
+                    rest.append(item)
+                else:
+                    seen.add(item[1])
+                    wave.append(item)
+            for _, receiver, payload in wave:
+                node = self.nodes[receiver]
+                node.models_received += 1
+                self.arena.merge_row(receiver, payload, self._merge_weight)
+            self._train_nodes([receiver for _, receiver, _ in wave])
+            pending = rest
+
+    # -- training -----------------------------------------------------
+
+    def _train_nodes(self, node_ids: list[int]) -> None:
+        """Run the local updates of independent nodes as one batch."""
+        if not node_ids:
+            return
+        cap = self.protocol.max_updates_per_node
+        tasks: list[UpdateTask] = []
+        for node_id in node_ids:
+            node = self.nodes[node_id]
+            if cap is not None and node.updates_performed >= cap:
+                continue
+            node.updates_performed += 1
+            if node.train_x.shape[0] == 0:
+                continue  # the trainer no-ops; the session must not advance
+            session = self._sessions[node_id]
+            self._sessions[node_id] += 1
+            tasks.append(
+                UpdateTask(
+                    node_id,
+                    self.arena.row(node_id).copy(),
+                    node.rng,
+                    session,
+                )
+            )
+        if not tasks:
+            return
+        results = self.executor().train_batch(tasks)
+        for task, (vector, rng) in zip(tasks, results):
+            self.arena.write_row(task.node_id, vector)
+            # Process workers return a mutated generator copy; rebind it
+            # so the node's stream advances exactly as it would serially.
+            self.nodes[task.node_id].rng = rng
+
+    # -- main loop ----------------------------------------------------
+
+    def run_tick(self) -> None:
+        """Phased tick: deliver, wake (merge / batch-train / send),
+        publish this tick's sends, advance the clock."""
+        self._deliver_due()
+        self._process_pending()
+        waking = self.schedule.waking_nodes(self.clock.tick)
+        if waking:
+            self.rng.shuffle(waking)
+            alive: list[int] = []
+            for node_id in waking:
+                node_id = int(node_id)
+                if (
+                    self.config.failure_prob
+                    and self.rng.random() < self.config.failure_prob
+                ):
+                    self.wakes_skipped += 1
+                    continue
+                self.sampler.on_wake(node_id)
+                alive.append(node_id)
+            if self._mode == "samo":
+                self._samo_wakes(alive)
+            else:
+                self._base_wakes(alive)
+            self._process_pending()
+        self.clock.advance()
+
+    def _samo_wakes(self, alive: list[int]) -> None:
+        """Algorithm 2: merge-once, train (batched), push to all."""
+        train_ids: list[int] = []
+        for node_id in alive:
+            node = self.nodes[node_id]
+            if node.inbox:
+                inbox, node.inbox = node.inbox, []
+                merged = mean_vectors([self.arena.row(node_id)] + inbox)
+                self.arena.write_row(node_id, merged)
+                train_ids.append(node_id)
+        self._train_nodes(train_ids)
+        for node_id in alive:
+            row = self.arena.row(node_id)
+            for neighbor in sorted(self.sampler.view(node_id)):
+                self._send_vector(node_id, neighbor, row)
+
+    def _base_wakes(self, alive: list[int]) -> None:
+        """Algorithm 1: push to one random neighbor."""
+        for node_id in alive:
+            node = self.nodes[node_id]
+            view = self.sampler.view(node_id)
+            if not view:
+                continue
+            neighbor = int(node.rng.choice(sorted(view)))
+            self._send_vector(node_id, neighbor, self.arena.row(node_id))
+
+
+def make_simulator(
+    config: SimulatorConfig,
+    protocol: GossipProtocol,
+    splits: list[NodeSplit],
+    initial_state: State,
+    keep_payloads: bool = False,
+    model_builder: Callable[[], Module] | None = None,
+) -> GossipSimulator:
+    """Build the simulator selected by ``config.engine``."""
+    if config.engine == "flat":
+        return FlatGossipSimulator(
+            config,
+            protocol,
+            splits,
+            initial_state,
+            keep_payloads=keep_payloads,
+            model_builder=model_builder,
+        )
+    return GossipSimulator(config, protocol, splits, initial_state, keep_payloads)

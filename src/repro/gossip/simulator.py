@@ -45,6 +45,17 @@ class SimulatorConfig:
     ``delay_ticks``/``delay_jitter`` model network latency: a message
     sent at tick t is delivered at ``t + delay_ticks + U{0..jitter}``.
     The default 0 reproduces the paper's instantaneous exchanges.
+
+    Execution engine (see DESIGN.md, "Flat-state execution engine"):
+
+    * ``engine`` — "dict" keeps the original per-key dict-``State``
+      hot path; "flat" stores all node models in one contiguous
+      ``(n_nodes, dim)`` arena and vectorizes aggregation.
+    * ``executor`` — "serial" or "process"; the flat engine can run
+      the local updates of independently waking nodes in a process
+      pool. Ignored by the dict engine.
+    * ``n_workers`` — process-pool size (0 = one per CPU, capped).
+    * ``arena_dtype`` — storage dtype of the flat arena.
     """
 
     n_nodes: int = 16
@@ -58,6 +69,10 @@ class SimulatorConfig:
     failure_prob: float = 0.0
     delay_ticks: int = 0
     delay_jitter: int = 0
+    engine: str = "dict"
+    executor: str = "serial"
+    n_workers: int = 0
+    arena_dtype: str = "float64"
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -71,6 +86,14 @@ class SimulatorConfig:
             raise ValueError("failure_prob must be in [0, 1)")
         if self.delay_ticks < 0 or self.delay_jitter < 0:
             raise ValueError("delays must be non-negative")
+        if self.engine not in ("dict", "flat"):
+            raise ValueError("engine must be 'dict' or 'flat'")
+        if self.executor not in ("serial", "process"):
+            raise ValueError("executor must be 'serial' or 'process'")
+        if self.n_workers < 0:
+            raise ValueError("n_workers must be non-negative")
+        if self.arena_dtype not in ("float32", "float64"):
+            raise ValueError("arena_dtype must be 'float32' or 'float64'")
 
     @property
     def sampler_name(self) -> str:
@@ -102,6 +125,7 @@ class GossipSimulator:
         )
         self.messages_dropped = 0
         self.wakes_skipped = 0
+        self.messages_undelivered = 0
         # In-flight messages as a min-heap of (deliver_tick, seq, ...);
         # the sequence number breaks ties FIFO.
         self._in_flight: list[tuple[int, int, int, int, State]] = []
@@ -114,7 +138,7 @@ class GossipSimulator:
         self.nodes = [
             GossipNode(
                 node_id=split.node_id,
-                state={k: v.copy() for k, v in initial_state.items()},
+                state=self._node_initial_state(initial_state),
                 split=split,
                 rng=np.random.default_rng(
                     self.rng.integers(0, 2**63 - 1)
@@ -123,13 +147,31 @@ class GossipSimulator:
             for split in splits
         ]
 
+    def _node_initial_state(self, initial_state: State) -> State:
+        """Per-node copy of the shared initial model (engine hook: the
+        flat engine skips the copy — node states become arena views)."""
+        return {k: v.copy() for k, v in initial_state.items()}
+
     # -- messaging ------------------------------------------------------
 
-    def _send(self, sender: int, receiver: int, payload: State) -> None:
+    def _transmission_delay(self, sender: int, receiver: int) -> int | None:
+        """Shared channel model for both engines: validate the link,
+        decide drop (None) and the delivery delay in ticks. Draw order
+        (drop first, then jitter) is part of the reproducibility
+        contract."""
         if receiver == sender:
             raise ValueError(f"node {sender} attempted to message itself")
         if self.config.drop_prob and self.rng.random() < self.config.drop_prob:
             self.messages_dropped += 1
+            return None
+        delay = self.config.delay_ticks
+        if self.config.delay_jitter:
+            delay += int(self.rng.integers(0, self.config.delay_jitter + 1))
+        return delay
+
+    def _send(self, sender: int, receiver: int, payload: State) -> None:
+        delay = self._transmission_delay(sender, receiver)
+        if delay is None:
             return
         self.log.record(
             ModelMessage(
@@ -139,15 +181,16 @@ class GossipSimulator:
                 payload=payload,
             )
         )
-        delay = self.config.delay_ticks
-        if self.config.delay_jitter:
-            delay += int(self.rng.integers(0, self.config.delay_jitter + 1))
         if delay == 0:
             self.protocol.on_receive(self.nodes[receiver], payload)
         else:
+            # Copy-on-enqueue: the sender may keep training and mutate
+            # its state while the message is in flight; the network must
+            # deliver the bytes that were sent, not the sender's future.
+            frozen = {name: arr.copy() for name, arr in payload.items()}
             heapq.heappush(
                 self._in_flight,
-                (self.clock.tick + delay, self._send_seq, sender, receiver, payload),
+                (self.clock.tick + delay, self._send_seq, sender, receiver, frozen),
             )
             self._send_seq += 1
 
@@ -195,11 +238,26 @@ class GossipSimulator:
 
     def run(self, rounds: int, round_callback: RoundCallback | None = None) -> None:
         """Run ``rounds`` communication rounds, invoking the callback
-        (e.g. the omniscient attacker) at each round boundary."""
+        (e.g. the omniscient attacker) at each round boundary.
+
+        Messages still in flight when the horizon ends are delivered if
+        due at the final tick, and the remainder is tallied in
+        ``messages_undelivered`` instead of silently lingering.
+        """
         for round_index in range(rounds):
             self.run_round()
             if round_callback is not None:
                 round_callback(round_index, self)
+        self._flush_end_of_run()
+        self.messages_undelivered = len(self._in_flight)
+
+    def _flush_end_of_run(self) -> None:
+        """Deliver messages due at the final tick (engine hook)."""
+        self._deliver_due()
+
+    def close(self) -> None:
+        """Release engine resources. No-op for the dict engine; the
+        flat engine's process executor overrides this."""
 
     # -- introspection ----------------------------------------------------
 

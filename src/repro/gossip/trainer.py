@@ -74,6 +74,7 @@ class LocalTrainer:
         y: np.ndarray,
         rng: np.random.Generator,
         node_id: int | None = None,
+        session: int | None = None,
     ) -> State:
         """Train ``state`` for ``local_epochs`` epochs on (x, y).
 
@@ -81,7 +82,9 @@ class LocalTrainer:
         Momentum buffers are fresh per call: after gossip aggregation a
         stale velocity has no meaning, so each local session starts
         clean (see DESIGN.md). ``node_id`` keys the per-node session
-        counter used by ``lr_decay``.
+        counter used by ``lr_decay``; an explicit ``session`` bypasses
+        that bookkeeping (the flat engine tracks sessions itself so
+        process-pool workers stay stateless).
         """
         if x.shape[0] == 0:
             return dict(state)
@@ -91,9 +94,10 @@ class LocalTrainer:
             self.loss = CrossEntropyLoss(
                 label_smoothing=self.config.label_smoothing
             )
-        session = self._sessions.get(node_id, 0) if node_id is not None else 0
-        if node_id is not None:
-            self._sessions[node_id] = session + 1
+        if session is None:
+            session = self._sessions.get(node_id, 0) if node_id is not None else 0
+            if node_id is not None:
+                self._sessions[node_id] = session + 1
         lr = self.config.learning_rate * (self.config.lr_decay**session)
         set_state(self.model, state)
         self.model.train()

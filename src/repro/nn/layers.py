@@ -53,8 +53,10 @@ class Module:
         self._parameters[name] = param
         return param
 
-    def register_buffer(self, name: str, value: np.ndarray) -> np.ndarray:
-        self._buffers[name] = np.asarray(value, dtype=np.float64)
+    def register_buffer(
+        self, name: str, value: np.ndarray, dtype: np.dtype | str = np.float64
+    ) -> np.ndarray:
+        self._buffers[name] = np.asarray(value, dtype=dtype)
         return self._buffers[name]
 
     def register_child(self, name: str, child: "Module") -> "Module":
@@ -85,14 +87,21 @@ class Module:
             yield from child.modules()
 
     def set_buffer(self, name: str, value: np.ndarray) -> None:
-        """Replace a buffer found by its qualified ``name``."""
+        """Replace a buffer found by its qualified ``name``.
+
+        Floating dtypes are preserved (float32 states must round-trip
+        unwidened); anything else is promoted to float64 as before.
+        """
         parts = name.split(".")
         module: Module = self
         for part in parts[:-1]:
             module = module._children[part]
         if parts[-1] not in module._buffers:
             raise KeyError(f"no buffer named {name!r}")
-        module._buffers[parts[-1]] = np.asarray(value, dtype=np.float64)
+        arr = np.asarray(value)
+        if not np.issubdtype(arr.dtype, np.floating):
+            arr = arr.astype(np.float64)
+        module._buffers[parts[-1]] = arr
 
     def get_buffer(self, name: str) -> np.ndarray:
         parts = name.split(".")
@@ -116,6 +125,14 @@ class Module:
     def zero_grad(self) -> None:
         for param in self.parameters():
             param.zero_grad()
+
+    def astype(self, dtype: np.dtype | str) -> "Module":
+        """Cast every parameter and buffer of the module tree in place."""
+        for _, param in self.named_parameters():
+            param.astype(dtype)
+        for name, buf in self.named_buffers():
+            self.set_buffer(name, buf.astype(dtype, copy=False))
+        return self
 
     # -- interface ----------------------------------------------------
 

@@ -18,6 +18,7 @@ __all__ = [
     "state_to_vector",
     "vector_to_state",
     "average_states",
+    "normalize_weights",
     "num_parameters",
 ]
 
@@ -64,8 +65,12 @@ def state_to_vector(state: State) -> np.ndarray:
 
 
 def vector_to_state(vector: np.ndarray, template: State) -> State:
-    """Inverse of :func:`state_to_vector` given a shape template."""
-    vector = np.asarray(vector, dtype=np.float64)
+    """Inverse of :func:`state_to_vector` given a shape template.
+
+    Each entry is cast back to the template entry's dtype, so float32
+    states round-trip without being silently promoted to float64.
+    """
+    vector = np.asarray(vector)
     expected = sum(arr.size for arr in template.values())
     if vector.size != expected:
         raise ValueError(f"vector has {vector.size} entries, expected {expected}")
@@ -73,9 +78,33 @@ def vector_to_state(vector: np.ndarray, template: State) -> State:
     offset = 0
     for name in sorted(template):
         arr = template[name]
-        out[name] = vector[offset : offset + arr.size].reshape(arr.shape).copy()
+        out[name] = (
+            vector[offset : offset + arr.size]
+            .reshape(arr.shape)
+            .astype(arr.dtype, copy=True)
+        )
         offset += arr.size
     return out
+
+
+def normalize_weights(weights: list[float]) -> list[float]:
+    """Validate and normalize averaging weights to sum to one.
+
+    All-zero or sign-cancelling weights would silently divide the
+    average into NaN/inf; refuse them instead. Shared by the dict
+    path here and the flat arena so the rule cannot diverge.
+    """
+    total = float(sum(weights))
+    # Exact-zero comparison on purpose: sign-cancelling totals ([1, -1],
+    # [0.3, -0.3], ...) cancel to exactly 0.0 in IEEE arithmetic, while
+    # legitimately tiny totals (e.g. [5e-9, 5e-9]) stay normalizable.
+    if not np.isfinite(total) or total == 0.0:
+        raise ValueError(
+            f"weights must sum to a finite nonzero total, got {total!r}"
+        )
+    if np.isclose(total, 1.0):
+        return list(weights)
+    return [w / total for w in weights]
 
 
 def average_states(states: list[State], weights: list[float] | None = None) -> State:
@@ -86,9 +115,7 @@ def average_states(states: list[State], weights: list[float] | None = None) -> S
         weights = [1.0 / len(states)] * len(states)
     if len(weights) != len(states):
         raise ValueError("weights and states must have equal length")
-    total = sum(weights)
-    if not np.isclose(total, 1.0):
-        weights = [w / total for w in weights]
+    weights = normalize_weights(weights)
     keys = set(states[0])
     for state in states[1:]:
         if set(state) != keys:

@@ -18,22 +18,37 @@ class Parameter:
     Parameters
     ----------
     data:
-        Initial value. Stored as ``float64`` for numerically stable
-        gradient checks; training code may downcast if desired.
+        Initial value. Stored as ``float64`` by default for numerically
+        stable gradient checks; pass ``dtype`` to keep a narrower type
+        (the flat-state arena uses ``float32``-capable parameters).
     name:
         Human-readable identifier used in state dictionaries.
     requires_grad:
         When ``False`` the optimizer skips this parameter (used for
         frozen layers and batch-norm running statistics).
+    dtype:
+        Storage dtype for the value and its gradient.
     """
 
     __slots__ = ("data", "grad", "name", "requires_grad")
 
-    def __init__(self, data: np.ndarray, name: str = "", requires_grad: bool = True):
-        self.data = np.asarray(data, dtype=np.float64)
+    def __init__(
+        self,
+        data: np.ndarray,
+        name: str = "",
+        requires_grad: bool = True,
+        dtype: np.dtype | str = np.float64,
+    ):
+        self.data = np.asarray(data, dtype=dtype)
         self.grad = np.zeros_like(self.data)
         self.name = name
         self.requires_grad = requires_grad
+
+    def astype(self, dtype: np.dtype | str) -> "Parameter":
+        """Cast value and gradient in place; returns self for chaining."""
+        self.data = self.data.astype(dtype, copy=False)
+        self.grad = self.grad.astype(dtype, copy=False)
+        return self
 
     @property
     def shape(self) -> tuple[int, ...]:

@@ -2,6 +2,9 @@
 
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import settings as hyp_settings
+from hypothesis import strategies as st
 
 from repro.gossip import TickClock, WakeSchedule
 
@@ -104,3 +107,35 @@ class TestWakeScheduleProperties:
         for node in range(5):
             counts = [sched.count_wakes(node, h) for h in range(0, 60, 7)]
             assert all(b >= a for a, b in zip(counts, counts[1:]))
+
+
+class TestWakeScheduleRandomizedConsistency:
+    """count_wakes must agree with wakes_at for arbitrary schedules."""
+
+    @given(
+        st.integers(0, 2**31 - 1),
+        st.floats(1.0, 200.0),
+        st.floats(0.0, 50.0),
+        st.integers(0, 400),
+    )
+    @hyp_settings(max_examples=40, deadline=None)
+    def test_count_wakes_equals_wakes_at_enumeration(
+        self, seed, mu, sigma, horizon
+    ):
+        rng = np.random.default_rng(seed)
+        sched = WakeSchedule(4, rng, mu=mu, sigma=sigma)
+        for node in range(4):
+            explicit = sum(
+                1 for t in range(horizon) if sched.wakes_at(node, t)
+            )
+            assert sched.count_wakes(node, horizon) == explicit
+
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 300))
+    @hyp_settings(max_examples=25, deadline=None)
+    def test_waking_nodes_consistent_with_wakes_at(self, seed, horizon):
+        rng = np.random.default_rng(seed)
+        sched = WakeSchedule(6, rng, mu=17.0, sigma=6.0)
+        for t in range(0, horizon, max(1, horizon // 40)):
+            waking = set(sched.waking_nodes(t))
+            for node in range(6):
+                assert (node in waking) == sched.wakes_at(node, t)

@@ -1,0 +1,337 @@
+"""Tests for the flat-buffer execution engine."""
+
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro.data import make_node_splits, make_synthetic_tabular_dataset
+from repro.gossip import (
+    FlatGossipSimulator,
+    GossipSimulator,
+    LocalTrainer,
+    SimulatorConfig,
+    StateArena,
+    TrainerConfig,
+    make_protocol,
+    make_simulator,
+)
+from repro.nn import build_mlp, get_state
+from repro.nn.flat import StateLayout
+from repro.nn.serialize import state_to_vector
+
+MODEL_BUILDER = partial(build_mlp, 16, 4, hidden=(8,))
+
+
+def build_flat(
+    protocol_name="samo",
+    n_nodes=6,
+    engine="flat",
+    executor="serial",
+    arena_dtype="float64",
+    seed=0,
+    lr_decay=1.0,
+    max_updates=None,
+    **config_kwargs,
+):
+    model = MODEL_BUILDER(rng=np.random.default_rng(0))
+    trainer = LocalTrainer(
+        model,
+        TrainerConfig(
+            learning_rate=0.05,
+            momentum=0.0,
+            local_epochs=1,
+            batch_size=8,
+            lr_decay=lr_decay,
+        ),
+    )
+    train, _ = make_synthetic_tabular_dataset(
+        "t", 300, 30, num_features=16, num_classes=4, seed=seed
+    )
+    splits = make_node_splits(
+        train, n_nodes, train_per_node=16, test_per_node=8, seed=seed
+    )
+    protocol = make_protocol(protocol_name, trainer)
+    protocol.max_updates_per_node = max_updates
+    config = SimulatorConfig(
+        n_nodes=n_nodes,
+        view_size=2,
+        ticks_per_round=20,
+        wake_mu=20,
+        wake_sigma=2,
+        engine=engine,
+        executor=executor,
+        arena_dtype=arena_dtype,
+        seed=seed,
+        **config_kwargs,
+    )
+    return make_simulator(
+        config,
+        protocol,
+        splits,
+        get_state(model),
+        model_builder=MODEL_BUILDER,
+    )
+
+
+class TestStateArena:
+    def _arena(self, n_nodes=4, dtype=np.float64):
+        state = get_state(MODEL_BUILDER(rng=np.random.default_rng(0)))
+        layout = StateLayout.from_state(state)
+        return StateArena(layout, n_nodes, dtype=dtype), state
+
+    def test_load_and_view_round_trip(self):
+        arena, state = self._arena()
+        arena.load_state(2, state)
+        view = arena.state_view(2)
+        np.testing.assert_array_equal(
+            state_to_vector(view), state_to_vector(state)
+        )
+
+    def test_views_are_live(self):
+        arena, state = self._arena()
+        arena.load_state(0, state)
+        view = arena.state_view(0)
+        arena.row(0)[:] = 7.0
+        name = arena.layout.names[0]
+        assert view[name].flat[0] == 7.0
+
+    def test_average_rows_matches_numpy_mean(self):
+        arena, _ = self._arena()
+        rng = np.random.default_rng(3)
+        arena.data[:] = rng.normal(size=arena.data.shape)
+        avg = arena.average_rows([0, 1, 3])
+        np.testing.assert_allclose(avg, arena.data[[0, 1, 3]].mean(axis=0))
+
+    def test_average_rows_weighted(self):
+        arena, _ = self._arena()
+        arena.data[0] = 0.0
+        arena.data[1] = 6.0
+        avg = arena.average_rows([0, 1], weights=[2.0, 1.0])
+        np.testing.assert_allclose(avg, np.full(arena.dim, 2.0))
+
+    def test_average_rows_rejects_zero_weight_total(self):
+        arena, _ = self._arena()
+        with pytest.raises(ValueError):
+            arena.average_rows([0, 1], weights=[1.0, -1.0])
+
+    def test_merge_row_pairwise(self):
+        arena, _ = self._arena()
+        arena.data[0] = 1.0
+        payload = np.full(arena.dim, 3.0)
+        arena.merge_row(0, payload, weight=0.5)
+        np.testing.assert_allclose(arena.row(0), np.full(arena.dim, 2.0))
+
+    def test_float32_storage(self):
+        arena, state = self._arena(dtype=np.float32)
+        arena.load_state(0, state)
+        assert arena.data.dtype == np.float32
+        assert arena.state_view(0)[arena.layout.names[0]].dtype == np.float32
+
+
+class TestMakeSimulator:
+    def test_dict_engine_returns_legacy_simulator(self):
+        sim = build_flat(engine="dict")
+        assert type(sim) is GossipSimulator
+
+    def test_flat_engine_returns_flat_simulator(self):
+        sim = build_flat(engine="flat")
+        assert isinstance(sim, FlatGossipSimulator)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SimulatorConfig(n_nodes=4, view_size=2, engine="gpu")
+        with pytest.raises(ValueError):
+            SimulatorConfig(n_nodes=4, view_size=2, executor="thread")
+        with pytest.raises(ValueError):
+            SimulatorConfig(n_nodes=4, view_size=2, arena_dtype="float16")
+
+
+class TestFlatSimulator:
+    def test_nodes_share_initial_model(self):
+        sim = build_flat()
+        assert np.all(sim.arena.data == sim.arena.data[0])
+
+    def test_node_state_is_arena_view(self):
+        """The dict-State compat layer: node.state reads through to the
+        arena, so attacks and metrics code see live models."""
+        sim = build_flat()
+        sim.arena.row(3)[:] = 42.0
+        name = sim.layout.names[0]
+        assert sim.nodes[3].state[name].flat[0] == 42.0
+        # snapshot() still detaches.
+        snap = sim.nodes[3].snapshot()
+        sim.arena.row(3)[:] = 0.0
+        assert snap[name].flat[0] == 42.0
+
+    @pytest.mark.parametrize("protocol_name", ["samo", "base_gossip"])
+    def test_run_trains_and_communicates(self, protocol_name):
+        sim = build_flat(protocol_name)
+        initial = sim.arena.data.copy()
+        sim.run(3)
+        sim.close()
+        assert sim.messages_sent > 0
+        assert sum(n.updates_performed for n in sim.nodes) > 0
+        assert not np.array_equal(sim.arena.data, initial)
+        assert np.isfinite(sim.arena.data).all()
+
+    def test_states_snapshot_detached(self):
+        sim = build_flat()
+        sim.run(1)
+        states = sim.states()
+        before = state_to_vector(states[0]).copy()
+        sim.arena.data[:] += 1.0
+        np.testing.assert_array_equal(state_to_vector(states[0]), before)
+
+    def test_update_cap_respected(self):
+        sim = build_flat(max_updates=2)
+        sim.run(5)
+        assert all(n.updates_performed <= 2 for n in sim.nodes)
+
+    def test_partial_merge_weight_honored(self):
+        sim = build_flat("base_gossip_partial")
+        assert sim._merge_weight == pytest.approx(0.25)
+        sim.run(2)
+        assert sim.messages_sent > 0
+
+    def test_float32_arena_runs(self):
+        sim = build_flat(arena_dtype="float32")
+        sim.run(2)
+        assert sim.arena.data.dtype == np.float32
+        assert sim.states()[0][sim.layout.names[0]].dtype == np.float32
+        assert np.isfinite(sim.arena.data).all()
+
+    def test_message_drop_and_failure_injection(self):
+        sim = build_flat(drop_prob=0.5, failure_prob=0.3, seed=2)
+        sim.run(4)
+        assert sim.messages_dropped > 0
+        assert sim.wakes_skipped > 0
+
+    def test_delayed_messages_tallied_at_end(self):
+        sim = build_flat(delay_ticks=10_000)
+        sim.run(2)
+        assert sim.messages_undelivered == sim.messages_sent
+        assert sim.messages_undelivered == sim.messages_in_flight
+
+    def test_in_flight_payload_frozen_at_send_time(self):
+        """Copy-on-enqueue holds on the flat path too: mutating the
+        sender's row after a delayed send must not alter the payload."""
+        sim = build_flat(delay_ticks=3)
+        sim._send_vector(0, 1, sim.arena.row(0))
+        frozen = sim._in_flight[0][4].copy()
+        sim.arena.row(0)[:] += 99.0
+        np.testing.assert_array_equal(sim._in_flight[0][4], frozen)
+
+    def test_empty_split_node_skips_sessions(self):
+        """A node without data still gossips (updates_performed grows)
+        but its lr_decay session counter must not advance."""
+        sim = build_flat(lr_decay=0.5)
+        node = sim.nodes[1]
+        empty_train = node.split.train.__class__(
+            base=node.split.train.base, indices=node.split.train.indices[:0]
+        )
+        node.split = node.split.__class__(
+            node_id=node.split.node_id, train=empty_train, test=node.split.test
+        )
+        sim.run(3)
+        assert sim._sessions[1] == 0
+        assert any(s > 0 for s in sim._sessions)
+
+    def test_serial_executor_reuses_protocol_trainer(self):
+        sim = build_flat()
+        sim.run(1)
+        assert sim.executor().trainer is sim.protocol.trainer
+
+    def test_rejects_unknown_protocol(self):
+        class FakeProtocol:
+            name = "fake"
+            trainer = None
+            max_updates_per_node = None
+
+        model = MODEL_BUILDER(rng=np.random.default_rng(0))
+        train, _ = make_synthetic_tabular_dataset(
+            "t", 100, 20, num_features=16, num_classes=4, seed=0
+        )
+        splits = make_node_splits(
+            train, 4, train_per_node=8, test_per_node=4, seed=0
+        )
+        config = SimulatorConfig(
+            n_nodes=4, view_size=2, engine="flat", seed=0
+        )
+        with pytest.raises(ValueError, match="flat engine"):
+            FlatGossipSimulator(config, FakeProtocol(), splits, get_state(model))
+
+
+class TestExecutorParity:
+    def test_process_executor_bit_identical_to_serial(self):
+        """The acceptance property at unit scale: a process-pool run
+        reproduces the serial run bit for bit."""
+        serial = build_flat(executor="serial", seed=5)
+        serial.run(2)
+        serial.close()
+        parallel = build_flat(executor="process", n_workers=2, seed=5)
+        parallel.run(2)
+        parallel.close()
+        assert np.array_equal(serial.arena.data, parallel.arena.data)
+        assert serial.messages_sent == parallel.messages_sent
+        assert [n.updates_performed for n in serial.nodes] == [
+            n.updates_performed for n in parallel.nodes
+        ]
+
+    def test_process_executor_requires_model_builder(self):
+        model = MODEL_BUILDER(rng=np.random.default_rng(0))
+        trainer = LocalTrainer(
+            model,
+            TrainerConfig(learning_rate=0.05, momentum=0.0, local_epochs=1,
+                          batch_size=8),
+        )
+        train, _ = make_synthetic_tabular_dataset(
+            "t", 100, 20, num_features=16, num_classes=4, seed=0
+        )
+        splits = make_node_splits(
+            train, 4, train_per_node=8, test_per_node=4, seed=0
+        )
+        config = SimulatorConfig(
+            n_nodes=4, view_size=2, engine="flat", executor="process",
+            wake_mu=5, wake_sigma=1, seed=0,
+        )
+        sim = make_simulator(
+            config, make_protocol("samo", trainer), splits, get_state(model)
+        )
+        with pytest.raises(ValueError, match="model_builder"):
+            sim.run(1)
+
+
+class TestMessageLogPayloads:
+    def test_payloads_kept_only_on_request(self):
+        sim = build_flat()
+        sim.run(1)
+        assert sim.log.messages == []  # default: counters only
+
+    def test_keep_payloads_records_snapshot_dicts(self):
+        model = MODEL_BUILDER(rng=np.random.default_rng(0))
+        trainer = LocalTrainer(
+            model,
+            TrainerConfig(learning_rate=0.05, momentum=0.0, local_epochs=0,
+                          batch_size=8),
+        )
+        train, _ = make_synthetic_tabular_dataset(
+            "t", 100, 20, num_features=16, num_classes=4, seed=0
+        )
+        splits = make_node_splits(
+            train, 4, train_per_node=8, test_per_node=4, seed=0
+        )
+        config = SimulatorConfig(
+            n_nodes=4, view_size=2, ticks_per_round=10, wake_mu=10,
+            wake_sigma=1, engine="flat", seed=0,
+        )
+        sim = make_simulator(
+            config, make_protocol("samo", trainer), splits,
+            get_state(model), keep_payloads=True,
+            model_builder=MODEL_BUILDER,
+        )
+        sim.run(1)
+        assert sim.log.messages
+        message = sim.log.messages[0]
+        assert set(message.payload) == set(sim.layout.names)
+        assert message.payload_size == sim.layout.dim

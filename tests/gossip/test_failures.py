@@ -245,3 +245,62 @@ class TestMessageLatency:
             n_nodes=4, view_size=2, delay_ticks=2, delay_jitter=3
         )
         assert config.delay_jitter == 3
+
+
+class TestInFlightIsolation:
+    """Messages in flight must be immune to later sender mutations."""
+
+    def _delayed_sim(self, delay_ticks=5, local_epochs=0):
+        model = build_mlp(16, 4, hidden=(8,), rng=np.random.default_rng(0))
+        trainer = LocalTrainer(
+            model,
+            TrainerConfig(learning_rate=0.05, momentum=0.0,
+                          local_epochs=local_epochs, batch_size=8),
+        )
+        train, _ = make_synthetic_tabular_dataset(
+            "t", 300, 30, num_features=16, num_classes=4, seed=0
+        )
+        splits = make_node_splits(train, 6, train_per_node=16,
+                                  test_per_node=8, seed=0)
+        config = SimulatorConfig(
+            n_nodes=6, view_size=2, ticks_per_round=20, wake_mu=20,
+            wake_sigma=2, delay_ticks=delay_ticks, seed=0,
+        )
+        return GossipSimulator(
+            config, make_protocol("samo", trainer), splits, get_state(model)
+        )
+
+    def test_sender_mutation_does_not_reach_in_flight_payload(self):
+        """Regression: _send used to enqueue the payload dict by
+        reference, so a sender training after the send rewrote the
+        message on the wire."""
+        sim = self._delayed_sim(delay_ticks=3)
+        payload = sim.nodes[0].snapshot()
+        original = {k: v.copy() for k, v in payload.items()}
+        sim._send(0, 1, payload)
+        for arr in payload.values():  # sender keeps training...
+            arr += 1234.5
+        for _ in range(4):  # ...while the message rides the wire
+            sim.clock.advance()
+        sim._deliver_due()
+        assert len(sim.nodes[1].inbox) == 1
+        delivered = sim.nodes[1].inbox[0]
+        for name in original:
+            np.testing.assert_array_equal(delivered[name], original[name])
+
+    def test_run_tallies_undelivered_messages(self):
+        """Messages still in flight at the end of run() are counted,
+        and messages due at the final tick are delivered."""
+        sim = self._delayed_sim(delay_ticks=10_000)
+        sim.run(rounds=2)
+        assert sim.messages_sent > 0
+        assert sim.messages_undelivered == sim.messages_in_flight
+        assert sim.messages_undelivered == sim.messages_sent
+
+    def test_run_delivers_messages_due_at_final_tick(self):
+        sim = self._delayed_sim(delay_ticks=1)
+        sim._send(0, 1, sim.nodes[0].snapshot())  # due at tick 1
+        sim.clock.advance()  # horizon ends exactly at the due tick
+        sim.run(rounds=0)
+        assert len(sim.nodes[1].inbox) == 1
+        assert sim.messages_undelivered == sim.messages_in_flight

@@ -213,3 +213,74 @@ class TestEarlyOverfittingMitigations:
             TrainerConfig(lr_decay=0.0)
         with pytest.raises(ValueError):
             TrainerConfig(lr_decay=1.5)
+
+
+class TestSessionBookkeeping:
+    """lr_decay session counters, including the empty-split edge case."""
+
+    def test_empty_split_does_not_advance_session(self):
+        """A node with no local data never trains, so its lr_decay
+        session counter must not advance (advancing would cool down
+        the learning rate of training that never happened)."""
+        model, trainer = make_setup()
+        trainer.config = TrainerConfig(
+            learning_rate=0.1, momentum=0.0, local_epochs=1,
+            batch_size=8, lr_decay=0.5,
+        )
+        state = get_state(model)
+        empty_x = np.zeros((0, 8))
+        empty_y = np.zeros((0,), dtype=np.int64)
+        rng = np.random.default_rng(0)
+        out = trainer.train(state, empty_x, empty_y, rng, node_id=7)
+        assert trainer._sessions.get(7, 0) == 0
+        np.testing.assert_array_equal(
+            state_to_vector(out), state_to_vector(state)
+        )
+        # A later real session starts at session 0 (full learning rate).
+        x, y = make_data()
+        trainer.train(state, x, y, rng, node_id=7)
+        assert trainer._sessions[7] == 1
+
+    def test_sessions_advance_per_node(self):
+        model, trainer = make_setup(local_epochs=1)
+        state = get_state(model)
+        x, y = make_data()
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            trainer.train(state, x, y, rng, node_id=0)
+        trainer.train(state, x, y, rng, node_id=1)
+        assert trainer._sessions == {0: 3, 1: 1}
+
+    def test_explicit_session_bypasses_bookkeeping(self):
+        """The flat engine passes sessions explicitly; the trainer's own
+        counters must stay untouched so the two never fight."""
+        model, trainer = make_setup(local_epochs=1)
+        state = get_state(model)
+        x, y = make_data()
+        rng = np.random.default_rng(0)
+        trainer.train(state, x, y, rng, node_id=4, session=2)
+        assert trainer._sessions == {}
+
+    def test_explicit_session_matches_bookkept_lr(self):
+        """session=N reproduces the update the N+1-th bookkept call makes."""
+        x, y = make_data()
+        config = TrainerConfig(
+            learning_rate=0.1, momentum=0.0, local_epochs=1,
+            batch_size=8, lr_decay=0.5,
+        )
+        model_a = build_mlp(8, 3, hidden=(16,), rng=np.random.default_rng(0))
+        trainer_a = LocalTrainer(model_a, config)
+        state = get_state(model_a)
+        out_a = state
+        for _ in range(3):
+            out_a = trainer_a.train(out_a, x, y, np.random.default_rng(9), node_id=0)
+        model_b = build_mlp(8, 3, hidden=(16,), rng=np.random.default_rng(0))
+        trainer_b = LocalTrainer(model_b, config)
+        out_b = state
+        for session in range(3):
+            out_b = trainer_b.train(
+                out_b, x, y, np.random.default_rng(9), session=session
+            )
+        np.testing.assert_array_equal(
+            state_to_vector(out_a), state_to_vector(out_b)
+        )

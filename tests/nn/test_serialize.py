@@ -153,3 +153,55 @@ class TestAveraging:
         avg = average_states([s0, s1])
         vec_avg = (state_to_vector(s0) + state_to_vector(s1)) / 2
         np.testing.assert_allclose(state_to_vector(avg), vec_avg)
+
+
+class TestAverageStatesWeightValidation:
+    def test_all_zero_weights_raise(self):
+        states = [{"w": np.ones(3)}, {"w": np.zeros(3)}]
+        with pytest.raises(ValueError, match="nonzero"):
+            average_states(states, weights=[0.0, 0.0])
+
+    def test_sign_cancelling_weights_raise(self):
+        states = [{"w": np.ones(3)}, {"w": np.zeros(3)}]
+        with pytest.raises(ValueError, match="nonzero"):
+            average_states(states, weights=[1.0, -1.0])
+
+    def test_non_finite_total_raises(self):
+        states = [{"w": np.ones(3)}, {"w": np.zeros(3)}]
+        with pytest.raises(ValueError):
+            average_states(states, weights=[np.inf, -np.inf])
+
+    def test_valid_unnormalized_weights_still_work(self):
+        states = [{"w": np.zeros(2)}, {"w": np.full(2, 6.0)}]
+        out = average_states(states, weights=[2.0, 1.0])
+        np.testing.assert_allclose(out["w"], np.full(2, 2.0))
+
+
+class TestVectorToStateDtype:
+    def test_float32_template_round_trips(self):
+        template = {
+            "a": np.arange(6, dtype=np.float32).reshape(2, 3),
+            "b": np.ones(4, dtype=np.float32),
+        }
+        vec = state_to_vector(template)
+        back = vector_to_state(vec, template)
+        for name in template:
+            assert back[name].dtype == np.float32
+            np.testing.assert_array_equal(back[name], template[name])
+
+    def test_mixed_dtypes_preserved(self):
+        template = {
+            "f32": np.ones(2, dtype=np.float32),
+            "f64": np.ones(2, dtype=np.float64),
+        }
+        vec = np.arange(4, dtype=np.float64)
+        back = vector_to_state(vec, template)
+        assert back["f32"].dtype == np.float32
+        assert back["f64"].dtype == np.float64
+
+    def test_tiny_but_valid_weight_total_normalizes(self):
+        """Only exact cancellation is rejected; small magnitudes are a
+        legitimate normalizable total."""
+        states = [{"w": np.zeros(2)}, {"w": np.full(2, 4.0)}]
+        out = average_states(states, weights=[5e-9, 5e-9])
+        np.testing.assert_allclose(out["w"], np.full(2, 2.0))

@@ -53,3 +53,19 @@ class TestParameter:
     def test_requires_grad_flag(self):
         p = Parameter(np.zeros(2), requires_grad=False)
         assert not p.requires_grad
+
+
+class TestParameterDtype:
+    def test_requested_dtype_preserved(self):
+        p = Parameter(np.ones(3), dtype=np.float32)
+        assert p.data.dtype == np.float32
+        assert p.grad.dtype == np.float32
+
+    def test_astype_casts_data_and_grad(self):
+        p = Parameter(np.ones(3))
+        p.accumulate(np.full(3, 0.5))
+        out = p.astype(np.float32)
+        assert out is p
+        assert p.data.dtype == np.float32
+        assert p.grad.dtype == np.float32
+        np.testing.assert_allclose(p.grad, 0.5)

@@ -55,6 +55,18 @@ class TestStudy:
         payload = json.loads(out_json.read_text())
         assert payload["metadata"]["sampler"] == "fresh"
 
+    def test_flat_engine_flag(self, tmp_path):
+        out_json = tmp_path / "run.json"
+        code = main([
+            "study", "--rounds", "1", "--nodes", "6",
+            "--engine", "flat", "--arena-dtype", "float32",
+            "--out", str(out_json),
+        ])
+        assert code == 0
+        payload = json.loads(out_json.read_text())
+        assert payload["metadata"]["engine"] == "flat"
+        assert payload["metadata"]["executor"] == "serial"
+
     def test_rejects_unknown_dataset(self):
         with pytest.raises(SystemExit):
             main(["study", "--dataset", "imagenet"])
