@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke lint
+.PHONY: test bench bench-smoke lint docs-check
 
 ## Tier-1 suite: unit + integration tests and benchmarks.
 test:
@@ -20,4 +20,8 @@ bench-smoke:
 
 ## Static checks: byte-compile everything (no third-party linter needed).
 lint:
-	$(PYTHON) -m compileall -q src tests benchmarks examples
+	$(PYTHON) -m compileall -q src tests benchmarks examples tools
+
+## Documentation: fail on broken relative links in README.md / docs/*.md.
+docs-check:
+	$(PYTHON) tools/check_docs_links.py

@@ -39,8 +39,9 @@ def _add_study_parser(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--canaries", type=int, default=0)
     p.add_argument("--drop-prob", type=float, default=0.0)
     p.add_argument("--failure-prob", type=float, default=0.0)
-    p.add_argument("--engine", default="dict", choices=["dict", "flat"],
-                   help="state engine: legacy dict-State or flat-buffer arena")
+    p.add_argument("--engine", default="flat", choices=["flat", "dict"],
+                   help="state engine: flat-buffer arena (default) or the "
+                        "legacy dict-State path")
     p.add_argument("--executor", default="serial",
                    choices=["serial", "process"],
                    help="local-update executor (flat engine only)")
@@ -49,6 +50,9 @@ def _add_study_parser(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--arena-dtype", default="float64",
                    choices=["float32", "float64"],
                    help="flat-arena storage dtype")
+    p.add_argument("--eval-batch", type=int, default=0,
+                   help="node models per blocked evaluation op "
+                        "(0 = all at once, -1 = legacy per-node loop)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default=None, help="write RunResult JSON here")
     p.add_argument("--csv", default=None, help="write per-round CSV here")
@@ -70,6 +74,7 @@ def _run_study(args: argparse.Namespace) -> int:
         "executor": args.executor,
         "n_workers": args.workers,
         "arena_dtype": args.arena_dtype,
+        "eval_batch": args.eval_batch,
         "seed": args.seed,
         "name": f"cli-{args.dataset}",
     }

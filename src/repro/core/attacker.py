@@ -9,26 +9,73 @@ the MPE attack per node (members = the node's local training set,
 non-members = its local test set), and aggregates Section 3.2 metrics
 into a :class:`~repro.metrics.records.RoundRecord`. When a canary set
 is present it additionally runs the targeted canary attack of RQ3.
+
+Observation runs on the **row-batch path** by default: node models are
+read as one ``(n_nodes, dim)`` matrix (``simulator.state_matrix()`` —
+the live arena under the flat engine, a one-shot pack under the legacy
+dict engine) and scored in blocked numpy ops by a
+:class:`~repro.metrics.evaluation.BatchedEvaluator`, in the matrix
+dtype. The legacy per-node loop (reload each state into the workspace
+model) is kept for architectures without a batched forward and for
+reference comparisons (``eval_batch=-1``); both paths consume the
+observer RNG in the same order, so they agree up to float-associativity
+tolerance.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.data.canary import CanarySet
 from repro.data.datasets import Dataset
 from repro.gossip.simulator import GossipSimulator
-from repro.metrics.evaluation import ModelEvaluation, evaluate_model, predict_proba
+from repro.metrics.evaluation import (
+    BatchedEvaluator,
+    ModelEvaluation,
+    evaluate_model,
+    predict_proba,
+)
 from repro.metrics.records import RoundRecord
+from repro.nn.batched import supports_batched_forward
+from repro.nn.flat import StateLayout
 from repro.nn.layers import Module
 from repro.nn.serialize import set_state
-from repro.privacy.mia import build_attack_data, mpe_scores, tpr_at_fpr
+from repro.privacy.mia import (
+    build_attack_data,
+    mia_reports_batched,
+    mpe_scores,
+    tpr_at_fpr,
+)
 
 __all__ = ["OmniscientObserver"]
 
 
+@dataclass
+class _AttackPlan:
+    """One node's pre-drawn observation inputs.
+
+    Drawn node by node in the exact RNG order of the per-node loop
+    (train subsample, test subsample, then the balancing draws that
+    ``build_attack_data`` would make), so the batched and per-node
+    paths see identical attack sets.
+    """
+
+    x_train: np.ndarray
+    y_train: np.ndarray
+    x_test: np.ndarray
+    y_test: np.ndarray
+    balance_train: np.ndarray | None
+    balance_test: np.ndarray | None
+
+
 class OmniscientObserver:
-    """Evaluates every node's model after each communication round."""
+    """Evaluates every node's model after each communication round.
+
+    ``eval_batch`` bounds how many node models are scored per blocked
+    kernel (0 = all at once; -1 forces the legacy per-node loop).
+    """
 
     def __init__(
         self,
@@ -40,14 +87,18 @@ class OmniscientObserver:
         max_attack_samples: int = 256,
         seed: int = 0,
         keep_node_records: bool = False,
+        eval_batch: int = 0,
     ):
         if canaries is not None and canary_base is None:
             raise ValueError("canary evaluation needs the base training split")
+        if eval_batch < -1:
+            raise ValueError("eval_batch must be >= -1")
         self.model = model
         self.canaries = canaries
         self.canary_base = canary_base
         self.rng = np.random.default_rng(seed)
         self.max_attack_samples = max_attack_samples
+        self.eval_batch = eval_batch
         self.records: list[RoundRecord] = []
         # Optional per-node evaluations (round -> list[ModelEvaluation]),
         # for studying vulnerability vs graph position or data share.
@@ -61,6 +112,9 @@ class OmniscientObserver:
         self.x_global = global_test.x[idx]
         self.y_global = global_test.y[idx]
         self._epsilon_fn = None
+        self._batched = eval_batch >= 0 and supports_batched_forward(model)
+        self._layout: StateLayout | None = None
+        self._evaluator: BatchedEvaluator | None = None
 
     def set_epsilon_fn(self, fn) -> None:
         """Register a callable round_index -> epsilon for DP runs."""
@@ -69,13 +123,21 @@ class OmniscientObserver:
     # -- per-round hook (signature matches GossipSimulator.run) --------
 
     def __call__(self, round_index: int, simulator: GossipSimulator) -> None:
-        evaluations = [
-            self._evaluate_node(simulator, node_id)
-            for node_id in range(simulator.config.n_nodes)
-        ]
+        # One state-matrix read serves evaluation, canary attack and
+        # spread (under the dict engine each read re-packs every node).
+        params = simulator.state_matrix(self._get_layout())
+        if self._batched:
+            evaluations = self._evaluate_all_batched(simulator, params)
+        else:
+            evaluations = [
+                self._evaluate_node(simulator, node_id)
+                for node_id in range(simulator.config.n_nodes)
+            ]
         if self.keep_node_records:
             self.node_records.append(evaluations)
-        canary_tpr = self._canary_attack(simulator) if self.canaries else None
+        canary_tpr = (
+            self._canary_attack(simulator, params) if self.canaries else None
+        )
         epsilon = self._epsilon_fn(round_index) if self._epsilon_fn else None
         self.records.append(
             RoundRecord.from_evaluations(
@@ -84,23 +146,39 @@ class OmniscientObserver:
                 messages_sent=simulator.messages_sent,
                 canary_tpr_at_1_fpr=canary_tpr,
                 epsilon=epsilon,
-                model_spread=self._model_spread(simulator),
+                model_spread=self._model_spread(simulator, params),
             )
         )
 
-    @staticmethod
-    def _model_spread(simulator: GossipSimulator) -> float:
+    def _model_spread(
+        self, simulator: GossipSimulator, params: np.ndarray | None = None
+    ) -> float:
         """Mean L2 distance of node models to the average model — the
-        consensus distance of Section 4 measured on real training."""
-        from repro.nn.serialize import state_to_vector
-
-        vectors = np.stack(
-            [state_to_vector(node.state) for node in simulator.nodes]
-        )
-        center = vectors.mean(axis=0)
-        return float(np.linalg.norm(vectors - center, axis=1).mean())
+        consensus distance of Section 4 measured on real training.
+        Reads the state matrix (the arena, under the flat engine)
+        instead of flattening one dict state per node."""
+        if params is None:
+            params = simulator.state_matrix(self._get_layout())
+        center = params.mean(axis=0)
+        return float(np.linalg.norm(params - center, axis=1).mean())
 
     # -- internals ------------------------------------------------------
+
+    def _get_layout(self) -> StateLayout | None:
+        if not self._batched:
+            return None
+        if self._layout is None:
+            self._layout = StateLayout.from_model(self.model)
+        return self._layout
+
+    def _get_evaluator(self) -> BatchedEvaluator:
+        if self._evaluator is None:
+            self._evaluator = BatchedEvaluator(
+                self.model,
+                layout=self._get_layout(),
+                eval_batch=max(self.eval_batch, 0),
+            )
+        return self._evaluator
 
     def _subsample(
         self, x: np.ndarray, y: np.ndarray
@@ -109,6 +187,79 @@ class OmniscientObserver:
             return x, y
         idx = self.rng.choice(x.shape[0], size=self.max_attack_samples, replace=False)
         return x[idx], y[idx]
+
+    def _draw_plan(self, node) -> _AttackPlan:
+        """Pre-draw one node's attack inputs (RNG-order compatible)."""
+        x_tr, y_tr = self._subsample(node.train_x, node.train_y)
+        x_te, y_te = self._subsample(node.test_x, node.test_y)
+        m = min(x_tr.shape[0], x_te.shape[0])
+        if m == 0:
+            raise ValueError("need at least one member and one non-member score")
+        balance_tr = (
+            self.rng.choice(x_tr.shape[0], size=m, replace=False)
+            if x_tr.shape[0] > m
+            else None
+        )
+        balance_te = (
+            self.rng.choice(x_te.shape[0], size=m, replace=False)
+            if x_te.shape[0] > m
+            else None
+        )
+        return _AttackPlan(x_tr, y_tr, x_te, y_te, balance_tr, balance_te)
+
+    def _evaluate_all_batched(
+        self, simulator: GossipSimulator, params: np.ndarray
+    ) -> list[ModelEvaluation]:
+        """Score every node's arena row in blocked ops (no reloads)."""
+        evaluator = self._get_evaluator()
+        plans = [self._draw_plan(node) for node in simulator.nodes]
+        global_acc = evaluator.accuracy_rows(params, self.x_global, self.y_global)
+        # Train and test attack sets of all nodes in ONE row-batch call
+        # (each node's row appears twice via the rows indirection).
+        obs = evaluator.attack_observations(
+            params,
+            [p.x_train for p in plans] + [p.x_test for p in plans],
+            [p.y_train for p in plans] + [p.y_test for p in plans],
+            rows=list(range(len(plans))) * 2,
+        )
+        train_obs, test_obs = obs[: len(plans)], obs[len(plans) :]
+        members: list[np.ndarray] = []
+        nonmembers: list[np.ndarray] = []
+        groups: dict[int, list[int]] = {}
+        for node_id, plan in enumerate(plans):
+            member_scores = train_obs[node_id][0]
+            nonmember_scores = test_obs[node_id][0]
+            if plan.balance_train is not None:
+                member_scores = member_scores[plan.balance_train]
+            if plan.balance_test is not None:
+                nonmember_scores = nonmember_scores[plan.balance_test]
+            members.append(member_scores)
+            nonmembers.append(nonmember_scores)
+            groups.setdefault(member_scores.size, []).append(node_id)
+        # One vectorized report sweep per balanced-size group (usually
+        # one group: every node subsamples to the same cap).
+        reports = [None] * len(plans)
+        for node_ids in groups.values():
+            for node_id, report in zip(
+                node_ids,
+                mia_reports_batched(
+                    np.stack([members[i] for i in node_ids]),
+                    np.stack([nonmembers[i] for i in node_ids]),
+                ),
+            ):
+                reports[node_id] = report
+        return [
+            ModelEvaluation(
+                node_id=node_id,
+                global_test_accuracy=float(global_acc[node_id]),
+                local_train_accuracy=train_obs[node_id][1],
+                local_test_accuracy=test_obs[node_id][1],
+                mia_accuracy=report.accuracy,
+                mia_tpr_at_1_fpr=report.tpr_at_1_fpr,
+                mia_auc=report.auc,
+            )
+            for node_id, report in enumerate(reports)
+        ]
 
     def _evaluate_node(
         self, simulator: GossipSimulator, node_id: int
@@ -129,14 +280,22 @@ class OmniscientObserver:
             rng=self.rng,
         )
 
-    def _canary_attack(self, simulator: GossipSimulator) -> float:
+    def _canary_attack(
+        self, simulator: GossipSimulator, params: np.ndarray | None = None
+    ) -> float:
         """Targeted entropy attack on the known canary set (RQ3).
 
         Member canaries are scored against the model of the node that
         trained on them; held-out canaries against the model of their
-        assigned node. Scores are pooled into one ROC.
+        assigned node. Scores are pooled into one ROC. On the batched
+        path, all (node, canary-set) pairs are scored as one row-batch
+        over the state matrix.
         """
         assert self.canaries is not None and self.canary_base is not None
+        if self._batched:
+            if params is None:
+                params = simulator.state_matrix(self._get_layout())
+            return self._canary_attack_batched(simulator, params)
         member_scores: list[np.ndarray] = []
         holdout_scores: list[np.ndarray] = []
         for node_id in range(simulator.config.n_nodes):
@@ -151,6 +310,41 @@ class OmniscientObserver:
                 probs = predict_proba(self.model, self.canary_base.x[indices])
                 labels = self.canary_base.y[indices]
                 bucket.append(mpe_scores(probs, labels))
+        return self._pool_canary_scores(member_scores, holdout_scores)
+
+    def _canary_attack_batched(
+        self, simulator: GossipSimulator, params: np.ndarray
+    ) -> float:
+        rows: list[int] = []
+        xs: list[np.ndarray] = []
+        ys: list[np.ndarray] = []
+        buckets: list[int] = []  # 0 = member, 1 = holdout
+        for node_id in range(simulator.config.n_nodes):
+            for bucket, indices in enumerate(
+                (
+                    self.canaries.members_for_node(node_id),
+                    self.canaries.holdouts_for_node(node_id),
+                )
+            ):
+                if indices.size == 0:
+                    continue
+                rows.append(node_id)
+                xs.append(self.canary_base.x[indices])
+                ys.append(self.canary_base.y[indices])
+                buckets.append(bucket)
+        if not rows:
+            return 0.0
+        observations = self._get_evaluator().attack_observations(
+            params, xs, ys, rows=rows
+        )
+        member_scores = [o[0] for o, b in zip(observations, buckets) if b == 0]
+        holdout_scores = [o[0] for o, b in zip(observations, buckets) if b == 1]
+        return self._pool_canary_scores(member_scores, holdout_scores)
+
+    @staticmethod
+    def _pool_canary_scores(
+        member_scores: list[np.ndarray], holdout_scores: list[np.ndarray]
+    ) -> float:
         if not member_scores or not holdout_scores:
             return 0.0
         data = build_attack_data(

@@ -77,7 +77,7 @@ class StudyConfig:
     delay_ticks: int = 0  # network latency (ticks per message)
     delay_jitter: int = 0  # extra uniform latency in [0, jitter]
     # Execution engine (DESIGN.md "Flat-state execution engine").
-    engine: str = "dict"  # "dict" (legacy) or "flat" (arena)
+    engine: str = "flat"  # "flat" (arena, default) or "dict" (legacy)
     executor: str = "serial"  # "serial" or "process" (flat engine only)
     n_workers: int = 0  # process-pool size; 0 = one per CPU (capped)
     arena_dtype: str = "float64"  # flat-arena storage dtype
@@ -99,6 +99,7 @@ class StudyConfig:
     # Evaluation.
     max_global_test: int = 512
     max_attack_samples: int = 256
+    eval_batch: int = 0  # node models per blocked eval op (0=all, -1=per-node loop)
     keep_node_records: bool = False  # retain per-node evaluations
     seed: int = 0
 
@@ -214,6 +215,7 @@ class VulnerabilityStudy:
             max_attack_samples=cfg.max_attack_samples,
             seed=cfg.seed + 4,
             keep_node_records=cfg.keep_node_records,
+            eval_batch=cfg.eval_batch,
         )
         if cfg.dp_epsilon is not None:
             self.observer.set_epsilon_fn(self._epsilon_at_round)
@@ -290,6 +292,7 @@ class VulnerabilityStudy:
                 "n_nodes": self.config.n_nodes,
                 "engine": self.config.engine,
                 "executor": self.config.executor,
+                "eval_batch": self.config.eval_batch,
                 "messages_dropped": self.simulator.messages_dropped,
                 "wakes_skipped": self.simulator.wakes_skipped,
                 "messages_undelivered": self.simulator.messages_undelivered,

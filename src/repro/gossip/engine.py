@@ -57,7 +57,17 @@ __all__ = [
 
 
 class StateArena:
-    """All node models as rows of one contiguous ``(n_nodes, dim)`` array."""
+    """All node models as rows of one contiguous ``(n_nodes, dim)`` array.
+
+    Layout contract: row ``i`` is node ``i``'s model flattened by the
+    arena's :class:`~repro.nn.flat.StateLayout` (sorted-name slot
+    order, interchangeable with ``state_to_vector``). Dtype contract:
+    ``data`` is stored and aggregated in ``dtype`` (float32 or
+    float64); dict states packed in are cast to it, and views unpacked
+    out carry it. Aggregation primitives (:meth:`average_rows`,
+    :meth:`merge_row`, :meth:`mix`) mutate or read rows in place —
+    dict-``State`` views over rows stay live across all of them.
+    """
 
     def __init__(
         self,
@@ -278,6 +288,14 @@ class FlatGossipSimulator(GossipSimulator):
     the update cap). Within a tick, execution is phased — deliver,
     wake/merge, batch-train, send — so the executor backend cannot
     change results.
+
+    Dtype contract: all gossip aggregation and all evaluation reads run
+    in ``config.arena_dtype``; only the local-update step unpacks a row
+    into the trainer's workspace model. :meth:`state_matrix` exposes
+    the arena zero-copy to the row-batch evaluation path
+    (:class:`~repro.metrics.evaluation.BatchedEvaluator`), so the
+    per-round attack observation never materializes per-node dict
+    views.
     """
 
     def __init__(
@@ -350,6 +368,25 @@ class FlatGossipSimulator(GossipSimulator):
         if self._executor is not None:
             self._executor.close()
             self._executor = None
+
+    def state_matrix(self, layout=None) -> np.ndarray:
+        """The live arena, zero-copy (read-only by contract).
+
+        Rows are in ``arena_dtype`` and follow the arena layout; a
+        ``layout`` argument that addresses slots differently (names,
+        offsets or shapes) is rejected rather than silently re-packed.
+        """
+        if layout is not None and not layout.compatible_with(self.layout):
+            raise ValueError(
+                f"layout does not match the arena layout "
+                f"({layout!r} vs {self.layout!r})"
+            )
+        # A non-writable view enforces the read-only contract at zero
+        # copy cost — an in-place op on it raises instead of silently
+        # corrupting every node's model.
+        view = self.arena.data.view()
+        view.flags.writeable = False
+        return view
 
     # -- messaging ----------------------------------------------------
 

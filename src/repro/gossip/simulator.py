@@ -48,14 +48,20 @@ class SimulatorConfig:
 
     Execution engine (see DESIGN.md, "Flat-state execution engine"):
 
-    * ``engine`` — "dict" keeps the original per-key dict-``State``
-      hot path; "flat" stores all node models in one contiguous
-      ``(n_nodes, dim)`` arena and vectorizes aggregation.
+    * ``engine`` — "flat" (the default) stores all node models in one
+      contiguous ``(n_nodes, dim)`` arena and vectorizes aggregation;
+      "dict" keeps the legacy per-key dict-``State`` hot path.
+      Semantic note: the flat engine runs *phased* ticks (all sends of
+      a tick become visible only after every wake of that tick), which
+      makes serial and parallel execution bit-identical; the dict
+      engine interleaves delivery with the wake loop. The two engines
+      are statistically equivalent but not bitwise comparable.
     * ``executor`` — "serial" or "process"; the flat engine can run
       the local updates of independently waking nodes in a process
       pool. Ignored by the dict engine.
     * ``n_workers`` — process-pool size (0 = one per CPU, capped).
-    * ``arena_dtype`` — storage dtype of the flat arena.
+    * ``arena_dtype`` — storage dtype of the flat arena; evaluation
+      math stays in this dtype (no float64 promotion).
     """
 
     n_nodes: int = 16
@@ -69,7 +75,7 @@ class SimulatorConfig:
     failure_prob: float = 0.0
     delay_ticks: int = 0
     delay_jitter: int = 0
-    engine: str = "dict"
+    engine: str = "flat"
     executor: str = "serial"
     n_workers: int = 0
     arena_dtype: str = "float64"
@@ -264,6 +270,28 @@ class GossipSimulator:
     def states(self) -> list[State]:
         """Snapshot of every node's current model (attacker's view)."""
         return [node.snapshot() for node in self.nodes]
+
+    def state_matrix(self, layout=None) -> np.ndarray:
+        """All node models as one ``(n_nodes, dim)`` float matrix.
+
+        The row-batch evaluation path reads node models through this
+        hook. The base implementation packs each dict ``State`` through
+        a :class:`~repro.nn.flat.StateLayout` (built from node 0 when
+        not supplied); the flat engine overrides it to return its arena
+        zero-copy. Treat the result as read-only — under the flat
+        engine it IS the live arena.
+        """
+        from repro.nn.flat import StateLayout
+
+        if layout is None:
+            layout = StateLayout.from_state(self.nodes[0].state)
+        # Pack in the states' own dtype so float32 models are evaluated
+        # in float32 here too, matching the flat engine's arena dtype.
+        dtype = np.result_type(*(slot.dtype for slot in layout.slots))
+        out = np.empty((self.config.n_nodes, layout.dim), dtype=dtype)
+        for node in self.nodes:
+            layout.pack(node.state, out=out[node.node_id])
+        return out
 
     @property
     def messages_sent(self) -> int:

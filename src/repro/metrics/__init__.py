@@ -5,6 +5,7 @@ from repro.metrics.evaluation import (
     predict_proba,
     generalization_error,
     evaluate_model,
+    BatchedEvaluator,
     ModelEvaluation,
 )
 from repro.metrics.records import RoundRecord, RunResult
@@ -14,6 +15,7 @@ __all__ = [
     "predict_proba",
     "generalization_error",
     "evaluate_model",
+    "BatchedEvaluator",
     "ModelEvaluation",
     "RoundRecord",
     "RunResult",

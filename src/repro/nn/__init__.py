@@ -28,6 +28,8 @@ from repro.nn.layers import (
 from repro.nn.loss import CrossEntropyLoss, MSELoss
 from repro.nn.optim import SGD, StepLR, ConstantLR
 from repro.nn.models import build_cnn, build_resnet8, build_mlp, build_model
+from repro.nn.batched import batched_forward, supports_batched_forward
+from repro.nn.flat import StateLayout
 from repro.nn.serialize import (
     get_state,
     set_state,
@@ -64,6 +66,9 @@ __all__ = [
     "build_resnet8",
     "build_mlp",
     "build_model",
+    "batched_forward",
+    "supports_batched_forward",
+    "StateLayout",
     "get_state",
     "set_state",
     "state_to_vector",

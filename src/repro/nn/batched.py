@@ -1,0 +1,280 @@
+"""Batched eval-mode forward: score B parameter vectors in one pass.
+
+The observer's hot loop evaluates *every* node's model against the same
+eval split each round. Reloading one dict-``State`` at a time into a
+workspace :class:`~repro.nn.layers.Module` makes that O(n_nodes) Python
+overhead per round; this module instead takes a ``(B, dim)`` block of
+flat parameter vectors (rows of a
+:class:`~repro.gossip.engine.StateArena`, addressed by a
+:class:`~repro.nn.flat.StateLayout`) and pushes all B models through
+the network together in blocked numpy ops.
+
+Contracts:
+
+* **Layout** — ``params[b]`` must follow ``layout`` (sorted-name slot
+  order, the same order as ``state_to_vector``). Parameters and buffers
+  are read as views into the block; nothing is copied into a model.
+* **Dtype** — all math runs in ``params.dtype``. Inputs are cast to it
+  on entry, so a float32 arena is scored in float32 end to end instead
+  of being silently promoted to float64.
+* **Eval mode only** — layers behave as in ``model.eval()``: BatchNorm
+  uses each row's running statistics, Dropout is the identity. There is
+  no backward pass.
+* **Input sharing** — ``x`` is either one array shared by every model
+  (``(N, ...)``, e.g. the global test set) or one array per model
+  (``(B, N, ...)``, e.g. per-node attack sets). Shared inputs stay
+  un-broadcast for as long as the network allows (e.g. a shared im2col
+  is computed once for all B models).
+
+Supported layers are the ones the Table-2 model families use (Dense,
+Conv2d, BatchNorm2d, the poolings, the elementwise activations,
+Flatten, Dropout, Sequential, Residual, Identity); use
+:func:`supports_batched_forward` to test a model before relying on
+:func:`batched_forward`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.flat import StateLayout
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    LeakyReLU,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Residual,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+
+__all__ = ["batched_forward", "supports_batched_forward"]
+
+_LEAF_TYPES = (
+    Dense,
+    Conv2d,
+    BatchNorm2d,
+    MaxPool2d,
+    AvgPool2d,
+    GlobalAvgPool2d,
+    ReLU,
+    LeakyReLU,
+    Sigmoid,
+    Tanh,
+    Flatten,
+    Dropout,
+    Identity,
+)
+
+
+def supports_batched_forward(model: Module) -> bool:
+    """True when every module in the tree has a batched equivalent."""
+    for module in model.modules():
+        if isinstance(module, (Sequential, Residual)):
+            continue
+        if not isinstance(module, _LEAF_TYPES):
+            return False
+    return True
+
+
+class _Block:
+    """One (B, dim) parameter block addressed through a layout."""
+
+    def __init__(self, layout: StateLayout, params: np.ndarray):
+        if params.ndim != 2 or params.shape[1] != layout.dim:
+            raise ValueError(
+                f"params must be (B, {layout.dim}), got {params.shape}"
+            )
+        self.layout = layout
+        self.params = params
+        self.b = params.shape[0]
+        self.dtype = params.dtype
+
+    def get(self, name: str) -> np.ndarray:
+        """(B,) + slot.shape view of one entry across all rows."""
+        slot = self.layout.slot(name)
+        view = self.params[:, slot.offset : slot.offset + slot.size]
+        return view.reshape((self.b,) + slot.shape)
+
+
+def batched_forward(
+    model: Module,
+    layout: StateLayout,
+    params: np.ndarray,
+    x: np.ndarray,
+    shared: bool = True,
+) -> np.ndarray:
+    """Logits of B models on ``x`` as one ``(B, N, classes)`` array.
+
+    ``params`` is a ``(B, dim)`` block of flat parameter vectors laid
+    out by ``layout``; ``x`` is ``(N, ...)`` when ``shared`` (every
+    model scores the same inputs) or ``(B, N, ...)`` otherwise.
+    """
+    block = _Block(layout, np.asarray(params))
+    x = np.asarray(x, dtype=block.dtype)
+    if not shared and x.shape[0] != block.b:
+        raise ValueError(
+            f"per-model input must have leading size {block.b}, got {x.shape}"
+        )
+    out, out_shared = _forward(model, "", block, x, shared)
+    if out_shared:
+        # No parameterized layer ran (degenerate but legal): replicate.
+        out = np.broadcast_to(out, (block.b,) + out.shape)
+    return out
+
+
+def _forward(
+    module: Module, prefix: str, block: _Block, x: np.ndarray, shared: bool
+) -> tuple[np.ndarray, bool]:
+    """Dispatch one module; returns (output, still-shared?)."""
+    if isinstance(module, Sequential):
+        for i, layer in enumerate(module.layers):
+            x, shared = _forward(layer, f"{prefix}{i}.", block, x, shared)
+        return x, shared
+    if isinstance(module, Residual):
+        body, body_shared = _forward(module.body, prefix + "body.", block, x, shared)
+        cut, cut_shared = _forward(
+            module.shortcut, prefix + "shortcut.", block, x, shared
+        )
+        # Broadcasting aligns a still-shared branch with a per-model one.
+        return np.maximum(body + cut, 0.0), body_shared and cut_shared
+    if isinstance(module, Dense):
+        return _dense(module, prefix, block, x, shared), False
+    if isinstance(module, Conv2d):
+        return _conv2d(module, prefix, block, x, shared), False
+    if isinstance(module, BatchNorm2d):
+        return _batchnorm2d(module, prefix, block, x, shared), False
+    if isinstance(module, MaxPool2d):
+        return _maxpool(module.kernel_size, x), shared
+    if isinstance(module, AvgPool2d):
+        return _avgpool(module.kernel_size, x), shared
+    if isinstance(module, GlobalAvgPool2d):
+        return x.mean(axis=(-2, -1)), shared
+    if isinstance(module, ReLU):
+        return np.maximum(x, 0.0), shared
+    if isinstance(module, LeakyReLU):
+        return np.where(x > 0, x, module.slope * x), shared
+    if isinstance(module, Sigmoid):
+        return _sigmoid(x), shared
+    if isinstance(module, Tanh):
+        return np.tanh(x), shared
+    if isinstance(module, Flatten):
+        lead = x.shape[:1] if shared else x.shape[:2]
+        return x.reshape(lead + (-1,)), shared
+    if isinstance(module, (Dropout, Identity)):
+        return x, shared
+    raise NotImplementedError(
+        f"no batched forward for {type(module).__name__}; "
+        "check supports_batched_forward(model) first"
+    )
+
+
+def _dense(
+    module: Dense, prefix: str, block: _Block, x: np.ndarray, shared: bool
+) -> np.ndarray:
+    weight = block.get(prefix + "weight")  # (B, in, out)
+    if shared:
+        # One GEMM for all models: fold B into the output columns, and
+        # add the bias while the result is still (N, B*out) contiguous.
+        b, i, o = weight.shape
+        folded = weight.transpose(1, 0, 2).reshape(i, b * o)
+        out = x @ folded
+        if module.bias is not None:
+            out += block.get(prefix + "bias").reshape(b * o)
+        return out.reshape(x.shape[0], b, o).transpose(1, 0, 2)
+    out = np.matmul(x, weight)  # batched GEMM (B, N, out)
+    if module.bias is not None:
+        out += block.get(prefix + "bias")[:, None, :]
+    return out
+
+
+def _conv2d(
+    module: Conv2d, prefix: str, block: _Block, x: np.ndarray, shared: bool
+) -> np.ndarray:
+    w_mat = block.get(prefix + "weight").reshape(
+        block.b, module.out_channels, -1
+    )  # (B, O, K)
+    if shared:
+        cols, out_h, out_w = F.im2col(
+            x, module.kernel_size, module.stride, module.padding
+        )
+        n, k, p = cols.shape
+        # Shared patches are extracted ONCE; one GEMM covers all models,
+        # and the bias lands while the result is still 2-D contiguous.
+        folded = w_mat.reshape(block.b * module.out_channels, k)
+        out = folded @ cols.transpose(1, 0, 2).reshape(k, n * p)
+        if module.bias is not None:
+            out += block.get(prefix + "bias").reshape(-1, 1)
+        out = out.reshape(block.b, module.out_channels, n, p).transpose(0, 2, 1, 3)
+        return out.reshape(out.shape[:3] + (out_h, out_w))
+    else:
+        b, n = x.shape[:2]
+        cols, out_h, out_w = F.im2col(
+            x.reshape((b * n,) + x.shape[2:]),
+            module.kernel_size,
+            module.stride,
+            module.padding,
+        )
+        cols = cols.reshape(b, n, cols.shape[1], cols.shape[2])
+        out = np.matmul(w_mat[:, None], cols)  # (B, N, O, P)
+    if module.bias is not None:
+        out += block.get(prefix + "bias")[:, None, :, None]
+    return out.reshape(out.shape[:3] + (out_h, out_w))
+
+
+def _batchnorm2d(
+    module: BatchNorm2d, prefix: str, block: _Block, x: np.ndarray, shared: bool
+) -> np.ndarray:
+    gamma = block.get(prefix + "gamma")  # (B, C)
+    beta = block.get(prefix + "beta")
+    mean = block.get("buffer:" + prefix + "running_mean")
+    var = block.get("buffer:" + prefix + "running_var")
+    inv_std = 1.0 / np.sqrt(var + module.eps)
+    # Each model normalizes with ITS OWN running statistics, so the
+    # output is per-model even when the input is still shared.
+    scale = (gamma * inv_std)[:, None, :, None, None]
+    shift = (beta - gamma * inv_std * mean)[:, None, :, None, None]
+    if shared:
+        return x[None] * scale + shift
+    return x * scale + shift
+
+
+def _maxpool(kernel: int, x: np.ndarray) -> np.ndarray:
+    h, w = x.shape[-2:]
+    if h % kernel or w % kernel:
+        raise ValueError(
+            f"MaxPool2d requires H and W divisible by {kernel}, got {x.shape}"
+        )
+    lead = x.shape[:-2]
+    windows = x.reshape(lead + (h // kernel, kernel, w // kernel, kernel))
+    return windows.max(axis=(-3, -1))
+
+
+def _avgpool(kernel: int, x: np.ndarray) -> np.ndarray:
+    h, w = x.shape[-2:]
+    if h % kernel or w % kernel:
+        raise ValueError(
+            f"AvgPool2d requires H and W divisible by {kernel}, got {x.shape}"
+        )
+    lead = x.shape[:-2]
+    windows = x.reshape(lead + (h // kernel, kernel, w // kernel, kernel))
+    return windows.mean(axis=(-3, -1))
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out

@@ -38,6 +38,14 @@ class StateSlot(NamedTuple):
 class StateLayout:
     """Immutable name -> slice mapping for one model architecture.
 
+    Layout contract: slots are laid out in sorted-name order (the
+    ``state_to_vector`` order), so flat vectors from either path are
+    interchangeable. Dtype contract: a layout records each entry's
+    template dtype but does not impose it — :meth:`pack` casts into the
+    target vector's dtype and :meth:`unpack` views carry the vector's
+    dtype (the arena dtype), while :meth:`unpack_copy` restores the
+    template dtypes.
+
     Instances are plain data (picklable) so process-pool workers can
     rebuild views on their side of the fence.
     """
@@ -83,6 +91,18 @@ class StateLayout:
         if not isinstance(other, StateLayout):
             return NotImplemented
         return self.slots == other.slots
+
+    def compatible_with(self, other: "StateLayout") -> bool:
+        """True when both layouts address vectors identically.
+
+        Compares names, offsets, sizes and shapes but not template
+        dtypes — a float32 workspace and a float64 template describe
+        the same slot addressing, and vectors are stored in the
+        arena/target dtype anyway.
+        """
+        return [slot[:4] for slot in self.slots] == [
+            slot[:4] for slot in other.slots
+        ]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"StateLayout(entries={len(self.slots)}, dim={self.dim})"

@@ -11,6 +11,7 @@
 
 from repro.privacy.mia import (
     mpe_scores,
+    mpe_scores_batched,
     prediction_entropy,
     AttackData,
     build_attack_data,
@@ -18,6 +19,7 @@ from repro.privacy.mia import (
     roc_curve,
     tpr_at_fpr,
     mia_report,
+    mia_reports_batched,
     MIAResult,
 )
 from repro.privacy.attacks import (
@@ -45,6 +47,7 @@ from repro.privacy.accountant import (
 
 __all__ = [
     "mpe_scores",
+    "mpe_scores_batched",
     "prediction_entropy",
     "AttackData",
     "build_attack_data",
@@ -52,6 +55,7 @@ __all__ = [
     "roc_curve",
     "tpr_at_fpr",
     "mia_report",
+    "mia_reports_batched",
     "MIAResult",
     "ATTACKS",
     "ThresholdAttack",

@@ -8,6 +8,14 @@ Implements Section 2.5 of the paper:
   worst-case threshold attacker,
 * MIA accuracy (Equation 6) and TPR@1%FPR (Equation 7) computed from
   the ROC curve over MPE scores (lower score means "member").
+
+Layout/dtype contract: scoring accepts probability matrices of shape
+``(N, C)`` (one victim model, :func:`mpe_scores`) or blocks of shape
+``(B, N, C)`` (one row per victim model, :func:`mpe_scores_batched`,
+fed by the row-batch evaluation path over arena rows). Probabilities
+may arrive in float32 or float64 — scores are always computed and
+returned in float64 so threshold sweeps and ROC integration are stable
+regardless of the arena dtype.
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ import numpy as np
 __all__ = [
     "prediction_entropy",
     "mpe_scores",
+    "mpe_scores_batched",
     "AttackData",
     "build_attack_data",
     "mia_accuracy",
@@ -26,6 +35,7 @@ __all__ = [
     "tpr_at_fpr",
     "MIAResult",
     "mia_report",
+    "mia_reports_batched",
 ]
 
 _EPS = 1e-12
@@ -62,6 +72,36 @@ def mpe_scores(probs: np.ndarray, labels: np.ndarray) -> np.ndarray:
     # true-class contribution.
     all_terms = -(p * np.log(1.0 - p))
     term_rest = all_terms.sum(axis=1) - all_terms[rows, labels]
+    return term_true + term_rest
+
+
+def mpe_scores_batched(probs: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Equation (3) for a block of victim models at once.
+
+    ``probs`` is ``(B, N, C)`` — one probability matrix per attacked
+    model row — and ``labels`` is ``(B, N)`` (or ``(N,)``, broadcast to
+    every model). Returns ``(B, N)`` MPE scores in float64. This is the
+    scoring half of the row-batch attack-observation path: one
+    vectorized pass replaces B per-node :func:`mpe_scores` calls.
+    """
+    probs = np.asarray(probs, dtype=np.float64)
+    if probs.ndim != 3:
+        raise ValueError(f"probs must be (B, N, C), got {probs.shape}")
+    b, n, c = probs.shape
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.shape == (n,):
+        labels = np.broadcast_to(labels, (b, n))
+    if labels.shape != (b, n):
+        raise ValueError("labels must be (B, N) or (N,) and match probs")
+    if labels.size and (labels.min() < 0 or labels.max() >= c):
+        raise ValueError("labels out of range")
+    p = np.clip(probs, _EPS, 1.0 - _EPS)
+    rows_b = np.arange(b)[:, None]
+    rows_n = np.arange(n)[None, :]
+    p_true = p[rows_b, rows_n, labels]
+    term_true = -(1.0 - p_true) * np.log(p_true)
+    all_terms = -(p * np.log(1.0 - p))
+    term_rest = all_terms.sum(axis=2) - all_terms[rows_b, rows_n, labels]
     return term_true + term_rest
 
 
@@ -131,6 +171,28 @@ def _valid_cuts(sorted_scores: np.ndarray) -> np.ndarray:
     return np.concatenate([[0], boundaries, [n]])
 
 
+def _threshold_sweep(
+    data: AttackData,
+) -> tuple[np.ndarray, np.ndarray, int, int]:
+    """Tie-aware threshold sweep shared by every single-model metric.
+
+    Sorts the scores once and returns ``(tp, fp, n_members,
+    n_nonmembers)`` evaluated at every *realizable* cut: a threshold
+    after cut t classifies the t lowest scores as members, and cuts
+    inside a tie run are excluded (no scalar threshold realizes them).
+    """
+    if len(data) == 0:
+        raise ValueError("empty attack data")
+    order = np.argsort(data.scores, kind="stable")
+    sorted_members = data.membership[order]
+    sorted_scores = data.scores[order]
+    n_members = int(sorted_members.sum())
+    cuts = _valid_cuts(sorted_scores)
+    tp = np.concatenate([[0], np.cumsum(sorted_members)])[cuts]
+    fp = cuts - tp
+    return tp, fp, n_members, len(data) - n_members
+
+
 def mia_accuracy(data: AttackData) -> float:
     """Attack accuracy at the accuracy-maximizing threshold (Eq. 6).
 
@@ -138,22 +200,10 @@ def mia_accuracy(data: AttackData) -> float:
     the threshold is chosen to maximize accuracy over the attack set,
     as the paper's worst-case attacker does.
     """
-    if len(data) == 0:
-        raise ValueError("empty attack data")
-    order = np.argsort(data.scores, kind="stable")
-    sorted_members = data.membership[order]
-    sorted_scores = data.scores[order]
-    n = len(data)
-    n_members = int(sorted_members.sum())
-    # Threshold between positions t-1 and t classifies the first t
-    # points as members. correct(t) = members in prefix + non-members
-    # in suffix; only tie-respecting cuts are allowed.
-    members_in_prefix = np.concatenate([[0], np.cumsum(sorted_members)])
-    t = _valid_cuts(sorted_scores)
-    prefix_members = members_in_prefix[t]
-    nonmembers_in_suffix = (n - n_members) - (t - prefix_members)
-    correct = prefix_members + nonmembers_in_suffix
-    return float(correct.max() / n)
+    tp, fp, _, n_nonmembers = _threshold_sweep(data)
+    # correct(t) = members in prefix + non-members in suffix.
+    correct = tp + (n_nonmembers - fp)
+    return float(correct.max() / len(data))
 
 
 def roc_curve(data: AttackData) -> tuple[np.ndarray, np.ndarray]:
@@ -162,18 +212,9 @@ def roc_curve(data: AttackData) -> tuple[np.ndarray, np.ndarray]:
     Lower scores indicate members, so the sweep classifies the ``t``
     lowest-scoring samples as members for ``t = 0..n``.
     """
-    if len(data) == 0:
-        raise ValueError("empty attack data")
-    order = np.argsort(data.scores, kind="stable")
-    sorted_members = data.membership[order]
-    sorted_scores = data.scores[order]
-    n_members = int(sorted_members.sum())
-    n_nonmembers = len(data) - n_members
+    tp, fp, n_members, n_nonmembers = _threshold_sweep(data)
     if n_members == 0 or n_nonmembers == 0:
         raise ValueError("attack data needs both members and non-members")
-    cuts = _valid_cuts(sorted_scores)
-    tp = np.concatenate([[0], np.cumsum(sorted_members)])[cuts]
-    fp = cuts - tp
     return fp / n_nonmembers, tp / n_members
 
 
@@ -196,13 +237,83 @@ class MIAResult:
 
 
 def mia_report(data: AttackData) -> MIAResult:
-    """Compute accuracy, TPR@1%FPR and AUC in one pass."""
-    fpr, tpr = roc_curve(data)
+    """Compute accuracy, TPR@1%FPR and AUC in one pass.
+
+    All three metrics derive from the same sorted sweep, so the scores
+    are sorted once and shared instead of re-sorted per metric (this
+    sits on the per-round observation hot path, once per node).
+    """
+    tp, fp, n_members, n_nonmembers = _threshold_sweep(data)
+    if n_members == 0 or n_nonmembers == 0:
+        raise ValueError("attack data needs both members and non-members")
+    fpr, tpr = fp / n_nonmembers, tp / n_members
     auc = float(np.trapezoid(tpr, fpr))
+    ok = fpr <= 0.01 + 1e-12
+    correct = tp + (n_nonmembers - fp)
     return MIAResult(
-        accuracy=mia_accuracy(data),
-        tpr_at_1_fpr=tpr_at_fpr(data, 0.01),
+        accuracy=float(correct.max() / len(data)),
+        tpr_at_1_fpr=float(tpr[ok].max()) if ok.any() else 0.0,
         auc=auc,
-        n_members=int(data.membership.sum()),
-        n_nonmembers=int((1 - data.membership).sum()),
+        n_members=n_members,
+        n_nonmembers=n_nonmembers,
     )
+
+
+def mia_reports_batched(
+    member_scores: np.ndarray, nonmember_scores: np.ndarray
+) -> list[MIAResult]:
+    """One :func:`mia_report` per row, computed as one vectorized sweep.
+
+    ``member_scores`` is ``(B, m)`` and ``nonmember_scores`` ``(B, k)``
+    — row ``b`` is one attacked model's already-balanced attack set.
+    Exactly equivalent to B per-row reports, including tie handling:
+    cuts that no scalar threshold can realize (inside a tie run) are
+    masked from the accuracy/TPR maxima, and for the AUC each masked
+    ROC point is forward-filled to the previous realizable one, which
+    collapses it to a zero-width trapezoid — the integral over valid
+    points only. This is the reporting half of the row-batch
+    attack-observation path (B per-node sorts become one).
+    """
+    member_scores = np.asarray(member_scores, dtype=np.float64)
+    nonmember_scores = np.asarray(nonmember_scores, dtype=np.float64)
+    if member_scores.ndim != 2 or nonmember_scores.ndim != 2:
+        raise ValueError("score blocks must be 2-D (one row per model)")
+    if member_scores.shape[0] != nonmember_scores.shape[0]:
+        raise ValueError("score blocks must have one row per model each")
+    b, m = member_scores.shape
+    k = nonmember_scores.shape[1]
+    if m == 0 or k == 0:
+        raise ValueError("attack data needs both members and non-members")
+    n = m + k
+    scores = np.concatenate([member_scores, nonmember_scores], axis=1)
+    membership = np.zeros((b, n), dtype=np.int64)
+    membership[:, :m] = 1
+    order = np.argsort(scores, axis=1, kind="stable")
+    sorted_members = np.take_along_axis(membership, order, axis=1)
+    sorted_scores = np.take_along_axis(scores, order, axis=1)
+    # Prefix counts at every cut t = 0..n: (B, n+1).
+    tp = np.zeros((b, n + 1))
+    np.cumsum(sorted_members, axis=1, out=tp[:, 1:])
+    fp = np.arange(n + 1)[None, :] - tp
+    valid = np.ones((b, n + 1), dtype=bool)
+    valid[:, 1:n] = np.diff(sorted_scores, axis=1) > 0
+    fpr, tpr = fp / k, tp / m
+    correct = np.where(valid, tp + (k - fp), -1.0)
+    ok = valid & (fpr <= 0.01 + 1e-12)
+    tpr_at_1 = np.where(ok, tpr, -1.0).max(axis=1)
+    # Forward-fill masked points (ROC curves are monotone, so a running
+    # max reproduces "previous valid point"), then integrate.
+    fpr_ff = np.maximum.accumulate(np.where(valid, fpr, -np.inf), axis=1)
+    tpr_ff = np.maximum.accumulate(np.where(valid, tpr, -np.inf), axis=1)
+    auc = np.trapezoid(tpr_ff, fpr_ff, axis=1)
+    accuracy = correct.max(axis=1) / n
+    return [
+        MIAResult(
+            accuracy=float(accuracy[i]),
+            tpr_at_1_fpr=float(max(tpr_at_1[i], 0.0)),
+            auc=float(auc[i]),
+            n_members=m,
+            n_nonmembers=k,
+        )
+        for i in range(b)
+    ]

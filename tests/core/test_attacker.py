@@ -144,3 +144,72 @@ class TestNodeRecords:
         assert record.mia_accuracy == pytest.approx(
             np.mean([e.mia_accuracy for e in per_node])
         )
+
+
+class TestBatchedObservation:
+    """The row-batch observation path vs the legacy per-node loop."""
+
+    def _pair(self, **overrides):
+        batched = build_study(**overrides)
+        legacy = build_study(eval_batch=-1, **overrides)
+        batched.run()
+        legacy.run()
+        return batched.observer.records, legacy.observer.records
+
+    def _assert_equivalent(self, batched, legacy, tol):
+        assert len(batched) == len(legacy)
+        for rb, rl in zip(batched, legacy):
+            assert rb.global_test_accuracy == pytest.approx(
+                rl.global_test_accuracy, abs=tol
+            )
+            assert rb.local_train_accuracy == pytest.approx(
+                rl.local_train_accuracy, abs=tol
+            )
+            assert rb.mia_accuracy == pytest.approx(rl.mia_accuracy, abs=tol)
+            assert rb.mia_tpr_at_1_fpr == pytest.approx(
+                rl.mia_tpr_at_1_fpr, abs=tol
+            )
+            assert rb.mia_auc == pytest.approx(rl.mia_auc, abs=tol)
+            assert rb.model_spread == pytest.approx(rl.model_spread, rel=1e-9)
+
+    def test_equivalent_float64(self):
+        batched, legacy = self._pair(rounds=2)
+        self._assert_equivalent(batched, legacy, tol=1e-9)
+
+    def test_equivalent_float32(self):
+        """Same run in the float32 arena: both paths score in float32
+        and agree within dtype tolerance."""
+        batched, legacy = self._pair(rounds=2, arena_dtype="float32")
+        self._assert_equivalent(batched, legacy, tol=1e-4)
+
+    def test_equivalent_with_unbalanced_attack_sets(self):
+        """train != test sizes exercise the pre-drawn balancing path."""
+        batched, legacy = self._pair(
+            rounds=1, train_per_node=24, test_per_node=8
+        )
+        self._assert_equivalent(batched, legacy, tol=1e-9)
+
+    def test_equivalent_with_canaries(self):
+        batched, legacy = self._pair(rounds=2, n_canaries=10)
+        for rb, rl in zip(batched, legacy):
+            assert rb.canary_tpr_at_1_fpr == pytest.approx(
+                rl.canary_tpr_at_1_fpr, abs=1e-9
+            )
+
+    def test_eval_batch_blocking_changes_nothing(self):
+        full = build_study(rounds=1)
+        blocked = build_study(rounds=1, eval_batch=2)
+        full.run()
+        blocked.run()
+        self._assert_equivalent(
+            full.observer.records, blocked.observer.records, tol=1e-12
+        )
+
+    def test_equivalent_on_dict_engine(self):
+        """The packed state-matrix path of the legacy engine."""
+        batched, legacy = self._pair(rounds=1, engine="dict")
+        self._assert_equivalent(batched, legacy, tol=1e-9)
+
+    def test_eval_batch_validation(self):
+        with pytest.raises(ValueError):
+            build_study(eval_batch=-2)

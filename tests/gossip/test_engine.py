@@ -335,3 +335,69 @@ class TestMessageLogPayloads:
         message = sim.log.messages[0]
         assert set(message.payload) == set(sim.layout.names)
         assert message.payload_size == sim.layout.dim
+
+
+class TestEngineDefault:
+    """PR 2 flipped the default engine from "dict" to "flat"."""
+
+    def test_simulator_config_defaults_to_flat(self):
+        assert SimulatorConfig().engine == "flat"
+
+    def test_study_config_defaults_to_flat(self):
+        from repro.core import StudyConfig
+
+        assert StudyConfig().engine == "flat"
+
+    def test_make_simulator_defaults_to_flat(self):
+        sim = build_flat()
+        assert isinstance(sim, FlatGossipSimulator)
+
+    def test_dict_engine_still_runs_behind_flag(self):
+        sim = build_flat(engine="dict")
+        assert type(sim) is GossipSimulator
+        sim.run(1)
+        assert sim.messages_sent > 0
+
+
+class TestStateMatrix:
+    def test_flat_engine_exposes_arena_zero_copy(self):
+        sim = build_flat()
+        matrix = sim.state_matrix()
+        assert np.shares_memory(matrix, sim.arena.data)
+        # Read-only contract is enforced, not just documented.
+        assert not matrix.flags.writeable
+        with pytest.raises(ValueError):
+            matrix[0, 0] = 1.0
+
+    def test_flat_engine_rejects_mismatched_layout(self):
+        from repro.nn.flat import StateLayout
+
+        sim = build_flat()
+        wrong = StateLayout.from_state({"w": np.zeros(3)})
+        with pytest.raises(ValueError, match="layout"):
+            sim.state_matrix(wrong)
+
+    def test_dict_engine_packs_states(self):
+        from repro.nn.serialize import state_to_vector
+
+        sim = build_flat(engine="dict")
+        sim.run(1)
+        matrix = sim.state_matrix()
+        for node in sim.nodes:
+            np.testing.assert_array_equal(
+                matrix[node.node_id], state_to_vector(node.state)
+            )
+
+    def test_dtype_only_layout_difference_accepted(self):
+        """A float32 workspace layout addresses rows identically, so it
+        must not be rejected (only name/offset/shape mismatches are)."""
+        from repro.nn.flat import StateLayout
+
+        sim = build_flat()
+        state32 = {
+            k: np.asarray(v, dtype=np.float32)
+            for k, v in sim.nodes[0].state.items()
+        }
+        layout32 = StateLayout.from_state(state32)
+        assert layout32.compatible_with(sim.layout)
+        assert np.shares_memory(sim.state_matrix(layout32), sim.arena.data)

@@ -93,3 +93,169 @@ class TestEvaluateModel:
         # Memorized members leak: attack beats random guessing.
         assert ev.mia_accuracy > 0.5
         assert 0.0 <= ev.mia_tpr_at_1_fpr <= 1.0
+
+
+class TestBatchedEvaluator:
+    """Row-batch path vs the per-model reference path."""
+
+    def _block(self, rng, dtype=np.float64, n_rows=5):
+        from repro.nn import StateLayout, get_state
+
+        model = build_mlp(10, 3, hidden=(16, 8), rng=rng)
+        layout = StateLayout.from_model(model)
+        template = get_state(model)
+        params = np.empty((n_rows, layout.dim), dtype=dtype)
+        states = []
+        for b in range(n_rows):
+            state = {k: rng.normal(size=v.shape) for k, v in template.items()}
+            states.append(state)
+            layout.pack(state, out=params[b])
+        return model, layout, params, states
+
+    def test_predict_proba_rows_matches_per_model(self, rng):
+        from repro.metrics import BatchedEvaluator
+        from repro.nn import set_state
+
+        model, layout, params, states = self._block(rng)
+        x = rng.normal(size=(12, 10))
+        probs = BatchedEvaluator(model, layout).predict_proba_rows(params, x)
+        for b, state in enumerate(states):
+            set_state(model, state)
+            np.testing.assert_allclose(
+                probs[b], predict_proba(model, x), rtol=1e-9, atol=1e-12
+            )
+
+    def test_accuracy_rows_matches_per_model(self, rng):
+        from repro.metrics import BatchedEvaluator
+        from repro.nn import set_state
+
+        model, layout, params, states = self._block(rng)
+        x = rng.normal(size=(18, 10))
+        y = rng.integers(0, 3, 18)
+        accs = BatchedEvaluator(model, layout).accuracy_rows(params, x, y)
+        for b, state in enumerate(states):
+            set_state(model, state)
+            assert accs[b] == pytest.approx(accuracy(model, x, y), abs=1e-12)
+
+    def test_attack_observations_match_per_model(self, rng):
+        from repro.metrics import BatchedEvaluator
+        from repro.nn import set_state
+        from repro.privacy import mpe_scores
+
+        model, layout, params, states = self._block(rng)
+        xs = [rng.normal(size=(7, 10)) for _ in states]
+        ys = [rng.integers(0, 3, 7) for _ in states]
+        obs = BatchedEvaluator(model, layout).attack_observations(params, xs, ys)
+        for b, state in enumerate(states):
+            set_state(model, state)
+            probs = predict_proba(model, xs[b])
+            np.testing.assert_allclose(
+                obs[b][0], mpe_scores(probs, ys[b]), rtol=1e-9, atol=1e-12
+            )
+            assert obs[b][1] == pytest.approx(accuracy(model, xs[b], ys[b]))
+
+    def test_attack_observations_ragged_sizes_and_rows(self, rng):
+        """Different-size attack sets group separately; the rows
+        indirection scores several sets against the same model."""
+        from repro.metrics import BatchedEvaluator
+        from repro.nn import set_state
+        from repro.privacy import mpe_scores
+
+        model, layout, params, states = self._block(rng, n_rows=3)
+        xs = [rng.normal(size=(n, 10)) for n in (4, 9, 4, 9)]
+        ys = [rng.integers(0, 3, x.shape[0]) for x in xs]
+        rows = [0, 1, 2, 0]
+        obs = BatchedEvaluator(model, layout).attack_observations(
+            params, xs, ys, rows=rows
+        )
+        for i, row in enumerate(rows):
+            set_state(model, states[row])
+            probs = predict_proba(model, xs[i])
+            np.testing.assert_allclose(
+                obs[i][0], mpe_scores(probs, ys[i]), rtol=1e-9, atol=1e-12
+            )
+
+    def test_eval_batch_blocking_is_equivalent(self, rng):
+        from repro.metrics import BatchedEvaluator
+
+        model, layout, params, _ = self._block(rng)
+        x = rng.normal(size=(11, 10))
+        y = rng.integers(0, 3, 11)
+        full = BatchedEvaluator(model, layout, eval_batch=0)
+        blocked = BatchedEvaluator(model, layout, eval_batch=2, batch_size=4)
+        np.testing.assert_allclose(
+            full.predict_proba_rows(params, x),
+            blocked.predict_proba_rows(params, x),
+            rtol=1e-12,
+        )
+        np.testing.assert_allclose(
+            full.accuracy_rows(params, x, y),
+            blocked.accuracy_rows(params, x, y),
+        )
+        # Per-model inputs block along the sample axis too.
+        xs = [rng.normal(size=(9, 10)) for _ in range(params.shape[0])]
+        ys = [rng.integers(0, 3, 9) for _ in range(params.shape[0])]
+        for (fs, fa), (bs, ba) in zip(
+            full.attack_observations(params, xs, ys),
+            blocked.attack_observations(params, xs, ys),
+        ):
+            np.testing.assert_allclose(fs, bs, rtol=1e-12)
+            assert fa == pytest.approx(ba)
+
+    def test_float32_block_matches_float32_per_model(self, rng):
+        """Dtype contract: a float32 block is scored in float32 on both
+        paths, and the two agree within float32 tolerance."""
+        from repro.metrics import BatchedEvaluator
+        from repro.nn import set_state
+
+        model, layout, params, states = self._block(rng, dtype=np.float32)
+        x = rng.normal(size=(12, 10))
+        probs = BatchedEvaluator(model, layout).predict_proba_rows(params, x)
+        assert probs.dtype == np.float32
+        for b, state in enumerate(states):
+            set_state(
+                model, {k: v.astype(np.float32) for k, v in state.items()}
+            )
+            reference = predict_proba(model, x)
+            assert reference.dtype == np.float32
+            np.testing.assert_allclose(probs[b], reference, rtol=1e-4, atol=1e-5)
+
+    def test_rejects_unsupported_model(self, rng):
+        from repro.metrics import BatchedEvaluator
+        from repro.nn import Module
+
+        class Weird(Module):
+            def forward(self, x):
+                return x
+
+        with pytest.raises(ValueError, match="batched"):
+            BatchedEvaluator(Weird())
+
+    def test_rejects_bad_knobs(self, rng):
+        from repro.metrics import BatchedEvaluator
+
+        model, layout, _, _ = self._block(rng)
+        with pytest.raises(ValueError):
+            BatchedEvaluator(model, layout, eval_batch=-1)
+        with pytest.raises(ValueError):
+            BatchedEvaluator(model, layout, batch_size=0)
+
+    def test_empty_input_returns_empty_block(self, rng):
+        """Mirrors predict_proba's empty-input contract per row."""
+        from repro.metrics import BatchedEvaluator
+
+        model, layout, params, _ = self._block(rng)
+        probs = BatchedEvaluator(model, layout).predict_proba_rows(
+            params, np.zeros((0, 10))
+        )
+        assert probs.shape == (params.shape[0], 0, 0)
+
+
+class TestPredictProbaDtype:
+    def test_float32_model_keeps_float32_math(self, rng):
+        """The workspace path also follows the model dtype instead of
+        promoting to float64 (the arena-dtype contract)."""
+        model = build_mlp(10, 3, hidden=(8,), rng=rng)
+        model.astype(np.float32)
+        probs = predict_proba(model, rng.normal(size=(6, 10)))
+        assert probs.dtype == np.float32

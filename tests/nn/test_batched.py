@@ -1,0 +1,114 @@
+"""Tests for the batched eval-mode forward over parameter blocks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.batched import batched_forward, supports_batched_forward
+from repro.nn.flat import StateLayout
+from repro.nn.layers import Dense, Module, Sequential
+from repro.nn.models import build_model
+from repro.nn.serialize import get_state, set_state
+
+ARCHS = [
+    ("mlp", dict(in_features=20, num_classes=7, hidden=(16, 8)), (9, 20)),
+    ("cnn", dict(in_channels=3, image_size=8, num_classes=5, width=4), (9, 3, 8, 8)),
+    ("resnet8", dict(in_channels=3, num_classes=6, width=4), (9, 3, 8, 8)),
+]
+
+
+def make_block(model, n_rows, rng):
+    """Distinct random states for every row, packed and kept as dicts."""
+    template = get_state(model)
+    layout = StateLayout.from_state(template)
+    params = np.empty((n_rows, layout.dim))
+    states = []
+    for b in range(n_rows):
+        state = {
+            k: rng.normal(size=v.shape) * 0.3
+            + (1.0 if "running_var" in k else 0.0)
+            for k, v in template.items()
+        }
+        states.append(state)
+        layout.pack(state, out=params[b])
+    return layout, params, states
+
+
+class TestBatchedForward:
+    @pytest.mark.parametrize("arch,kwargs,xshape", ARCHS)
+    def test_matches_per_model_forward_shared_input(self, arch, kwargs, xshape):
+        rng = np.random.default_rng(0)
+        model = build_model(arch, **kwargs)
+        layout, params, states = make_block(model, 4, rng)
+        x = rng.normal(size=xshape)
+        out = batched_forward(model, layout, params, x, shared=True)
+        model.eval()
+        for b, state in enumerate(states):
+            set_state(model, state)
+            np.testing.assert_allclose(
+                out[b], model.forward(x), rtol=1e-9, atol=1e-9
+            )
+
+    @pytest.mark.parametrize("arch,kwargs,xshape", ARCHS)
+    def test_matches_per_model_forward_per_model_inputs(self, arch, kwargs, xshape):
+        rng = np.random.default_rng(1)
+        model = build_model(arch, **kwargs)
+        layout, params, states = make_block(model, 4, rng)
+        xs = rng.normal(size=(4,) + xshape)
+        out = batched_forward(model, layout, params, xs, shared=False)
+        model.eval()
+        for b, state in enumerate(states):
+            set_state(model, state)
+            np.testing.assert_allclose(
+                out[b], model.forward(xs[b]), rtol=1e-9, atol=1e-9
+            )
+
+    def test_math_stays_in_block_dtype(self):
+        """Float32 parameter blocks are scored in float32 — the arena
+        dtype contract — even when the input arrives as float64."""
+        rng = np.random.default_rng(2)
+        model = build_model("mlp", in_features=10, num_classes=4, hidden=(8,))
+        layout, params, _ = make_block(model, 3, rng)
+        x = rng.normal(size=(5, 10))
+        out32 = batched_forward(model, layout, params.astype(np.float32), x)
+        assert out32.dtype == np.float32
+        out64 = batched_forward(model, layout, params, x)
+        assert out64.dtype == np.float64
+        np.testing.assert_allclose(out32, out64, rtol=1e-4, atol=1e-4)
+
+    def test_rejects_mismatched_block(self):
+        model = build_model("mlp", in_features=10, num_classes=4, hidden=(8,))
+        layout = StateLayout.from_model(model)
+        with pytest.raises(ValueError, match="params"):
+            batched_forward(model, layout, np.zeros((2, layout.dim + 1)),
+                            np.zeros((3, 10)))
+
+    def test_rejects_wrong_per_model_leading_dim(self):
+        model = build_model("mlp", in_features=10, num_classes=4, hidden=(8,))
+        layout = StateLayout.from_model(model)
+        params = np.zeros((2, layout.dim))
+        with pytest.raises(ValueError, match="leading size"):
+            batched_forward(model, layout, params, np.zeros((3, 5, 10)),
+                            shared=False)
+
+
+class TestSupportsBatchedForward:
+    def test_table2_families_supported(self):
+        for arch, kwargs, _ in ARCHS:
+            assert supports_batched_forward(build_model(arch, **kwargs))
+
+    def test_unknown_layer_rejected(self):
+        class Weird(Module):
+            def forward(self, x):
+                return x
+
+        assert not supports_batched_forward(Sequential(Dense(4, 2), Weird()))
+
+    def test_unknown_layer_raises_at_forward(self):
+        class Weird(Module):
+            def forward(self, x):
+                return x
+
+        model = Sequential(Weird())
+        layout = StateLayout.from_state({"w": np.zeros(1)})
+        with pytest.raises(NotImplementedError):
+            batched_forward(model, layout, np.zeros((1, 1)), np.zeros((2, 3)))

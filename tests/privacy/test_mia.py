@@ -265,3 +265,94 @@ class TestThresholdAttackProperties:
         fpr, tpr = roc_curve(data)
         assert np.all((fpr >= 0) & (fpr <= 1))
         assert np.all((tpr >= 0) & (tpr <= 1))
+
+
+class TestMpeScoresBatched:
+    def test_matches_per_row_mpe(self, rng):
+        from repro.privacy import mpe_scores_batched
+
+        probs = rng.dirichlet(np.ones(6), size=(4, 9))
+        labels = rng.integers(0, 6, size=(4, 9))
+        batched = mpe_scores_batched(probs, labels)
+        for b in range(4):
+            np.testing.assert_allclose(
+                batched[b], mpe_scores(probs[b], labels[b]), rtol=1e-12
+            )
+
+    def test_shared_labels_broadcast(self, rng):
+        from repro.privacy import mpe_scores_batched
+
+        probs = rng.dirichlet(np.ones(4), size=(3, 5))
+        labels = rng.integers(0, 4, size=5)
+        batched = mpe_scores_batched(probs, labels)
+        for b in range(3):
+            np.testing.assert_allclose(
+                batched[b], mpe_scores(probs[b], labels), rtol=1e-12
+            )
+
+    def test_validates_shapes_and_labels(self, rng):
+        from repro.privacy import mpe_scores_batched
+
+        probs = rng.dirichlet(np.ones(4), size=(3, 5))
+        with pytest.raises(ValueError):
+            mpe_scores_batched(probs[0], np.zeros(5, dtype=int))
+        with pytest.raises(ValueError):
+            mpe_scores_batched(probs, np.zeros((2, 5), dtype=int))
+        with pytest.raises(ValueError):
+            mpe_scores_batched(probs, np.full((3, 5), 9))
+
+
+class TestMiaReportsBatched:
+    def _check_rows(self, member_block, nonmember_block):
+        from repro.privacy import mia_reports_batched
+
+        reports = mia_reports_batched(member_block, nonmember_block)
+        for b, report in enumerate(reports):
+            expected = mia_report(
+                build_attack_data(
+                    member_block[b], nonmember_block[b], balance=False
+                )
+            )
+            assert report.accuracy == pytest.approx(expected.accuracy)
+            assert report.tpr_at_1_fpr == pytest.approx(expected.tpr_at_1_fpr)
+            assert report.auc == pytest.approx(expected.auc)
+            assert report.n_members == expected.n_members
+            assert report.n_nonmembers == expected.n_nonmembers
+
+    def test_matches_per_row_reports(self, rng):
+        self._check_rows(
+            rng.normal(size=(5, 16)), rng.normal(size=(5, 16)) + 0.5
+        )
+
+    def test_unbalanced_sides(self, rng):
+        self._check_rows(rng.normal(size=(3, 10)), rng.normal(size=(3, 25)))
+
+    def test_tied_scores_match_per_row(self, rng):
+        """Ties restrict realizable thresholds; the vectorized sweep
+        must mask the same cuts the scalar sweep skips."""
+        member = np.repeat(rng.normal(size=(4, 4)), 3, axis=1)
+        nonmember = np.repeat(rng.normal(size=(4, 4)), 3, axis=1)
+        nonmember[:, ::2] = member[:, ::2]  # cross-class ties too
+        self._check_rows(member, nonmember)
+
+    def test_perfect_separation(self):
+        from repro.privacy import mia_reports_batched
+
+        member = np.tile(np.arange(5.0), (2, 1))
+        nonmember = member + 100.0
+        for report in mia_reports_batched(member, nonmember):
+            assert report.accuracy == 1.0
+            assert report.auc == pytest.approx(1.0)
+            assert report.tpr_at_1_fpr == pytest.approx(1.0)
+
+    def test_validates_inputs(self, rng):
+        from repro.privacy import mia_reports_batched
+
+        with pytest.raises(ValueError):
+            mia_reports_batched(rng.normal(size=5), rng.normal(size=(1, 5)))
+        with pytest.raises(ValueError):
+            mia_reports_batched(
+                rng.normal(size=(2, 5)), rng.normal(size=(3, 5))
+            )
+        with pytest.raises(ValueError):
+            mia_reports_batched(np.empty((2, 0)), rng.normal(size=(2, 5)))

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Fail on broken relative links in the documentation tree.
+
+Scans README.md and docs/*.md (plus the other top-level .md files) for
+markdown links `[text](target)` and verifies that every relative target
+exists on disk. External links (http/https/mailto) and pure anchors
+are skipped; an anchor suffix on a relative link is stripped before the
+existence check. Exit status 1 lists every broken link.
+
+Usage: python tools/check_docs_links.py [root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Markdown inline links, tolerating one level of parentheses in text.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def doc_files(root: Path) -> list[Path]:
+    files = sorted(root.glob("*.md"))
+    docs = root / "docs"
+    if docs.is_dir():
+        files += sorted(docs.glob("*.md"))
+    return files
+
+
+def broken_links(path: Path) -> list[str]:
+    broken = []
+    for target in LINK_RE.findall(path.read_text(encoding="utf-8")):
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    return broken
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(".")
+    failures = 0
+    checked = 0
+    for path in doc_files(root):
+        checked += 1
+        for target in broken_links(path):
+            print(f"{path}: broken link -> {target}")
+            failures += 1
+    if not checked:
+        print("no markdown files found", file=sys.stderr)
+        return 1
+    print(f"checked {checked} files: {failures} broken links")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
