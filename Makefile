@@ -4,11 +4,18 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke lint docs-check
+.PHONY: test bench bench-smoke lint docs-check coverage
 
 ## Tier-1 suite: unit + integration tests and benchmarks.
 test:
 	$(PYTHON) -m pytest -x -q
+
+## Test suite under coverage, with a floor on the engine-critical
+## packages (needs `python -m pip install coverage`).
+coverage:
+	$(PYTHON) -m coverage run --source=src/repro/nn,src/repro/gossip \
+		-m pytest -x -q tests
+	$(PYTHON) -m coverage report -m --fail-under=85
 
 ## Full benchmark harness (REPRO_BENCH_SCALE=tiny|small|paper).
 bench:

@@ -43,10 +43,16 @@ def _add_study_parser(sub: argparse._SubParsersAction) -> None:
                    help="state engine: flat-buffer arena (default) or the "
                         "legacy dict-State path")
     p.add_argument("--executor", default="serial",
-                   choices=["serial", "process"],
-                   help="local-update executor (flat engine only)")
+                   choices=["serial", "process", "batched"],
+                   help="local-update executor (flat engine only): serial "
+                        "workspace, process pool, or blocked multi-model "
+                        "training over the arena")
     p.add_argument("--workers", type=int, default=0,
                    help="process-pool size; 0 = one per CPU (capped)")
+    p.add_argument("--train-batch", type=int, default=0,
+                   help="rows per blocked training op for the batched "
+                        "executor (0 = all same-size wake tasks at once, "
+                        "-1 = per-row path)")
     p.add_argument("--arena-dtype", default="float64",
                    choices=["float32", "float64"],
                    help="flat-arena storage dtype")
@@ -73,6 +79,7 @@ def _run_study(args: argparse.Namespace) -> int:
         "engine": args.engine,
         "executor": args.executor,
         "n_workers": args.workers,
+        "train_batch": args.train_batch,
         "arena_dtype": args.arena_dtype,
         "eval_batch": args.eval_batch,
         "seed": args.seed,

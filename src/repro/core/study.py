@@ -78,8 +78,9 @@ class StudyConfig:
     delay_jitter: int = 0  # extra uniform latency in [0, jitter]
     # Execution engine (DESIGN.md "Flat-state execution engine").
     engine: str = "flat"  # "flat" (arena, default) or "dict" (legacy)
-    executor: str = "serial"  # "serial" or "process" (flat engine only)
+    executor: str = "serial"  # "serial", "process" or "batched" (flat only)
     n_workers: int = 0  # process-pool size; 0 = one per CPU (capped)
+    train_batch: int = 0  # rows per blocked training op (0=all, -1=per-row)
     arena_dtype: str = "float64"  # flat-arena storage dtype
     # Local training (Table 2 columns).
     learning_rate: float = 0.01
@@ -192,6 +193,7 @@ class VulnerabilityStudy:
                 engine=cfg.engine,
                 executor=cfg.executor,
                 n_workers=cfg.n_workers,
+                train_batch=cfg.train_batch,
                 arena_dtype=cfg.arena_dtype,
                 seed=cfg.seed + 3,
             ),
@@ -292,6 +294,7 @@ class VulnerabilityStudy:
                 "n_nodes": self.config.n_nodes,
                 "engine": self.config.engine,
                 "executor": self.config.executor,
+                "train_batch": self.config.train_batch,
                 "eval_batch": self.config.eval_batch,
                 "messages_dropped": self.simulator.messages_dropped,
                 "wakes_skipped": self.simulator.wakes_skipped,

@@ -10,7 +10,7 @@ Send-All-Merge-Once / SAMO (Algorithm 2).
 from repro.gossip.clock import WakeSchedule, TickClock
 from repro.gossip.messages import ModelMessage, MessageLog
 from repro.gossip.node import GossipNode
-from repro.gossip.trainer import LocalTrainer, TrainerConfig
+from repro.gossip.trainer import BatchedTrainer, LocalTrainer, TrainerConfig
 from repro.gossip.protocols import (
     GossipProtocol,
     BaseGossipProtocol,
@@ -20,6 +20,7 @@ from repro.gossip.protocols import (
 )
 from repro.gossip.simulator import GossipSimulator, SimulatorConfig
 from repro.gossip.engine import (
+    BatchedExecutor,
     Executor,
     FlatGossipSimulator,
     ProcessExecutor,
@@ -30,6 +31,8 @@ from repro.gossip.engine import (
 )
 
 __all__ = [
+    "BatchedExecutor",
+    "BatchedTrainer",
     "Executor",
     "FlatGossipSimulator",
     "ProcessExecutor",

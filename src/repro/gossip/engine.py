@@ -40,7 +40,8 @@ from repro.gossip.protocols import (
     SAMOProtocol,
 )
 from repro.gossip.simulator import GossipSimulator, SimulatorConfig
-from repro.gossip.trainer import LocalTrainer, TrainerConfig
+from repro.gossip.trainer import BatchedTrainer, LocalTrainer, TrainerConfig
+from repro.nn.batched import supports_batched_backward
 from repro.nn.flat import StateLayout
 from repro.nn.layers import Module
 from repro.nn.serialize import State, normalize_weights
@@ -51,6 +52,7 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ProcessExecutor",
+    "BatchedExecutor",
     "FlatGossipSimulator",
     "make_simulator",
 ]
@@ -149,12 +151,28 @@ def mean_vectors(vectors: Sequence[np.ndarray]) -> np.ndarray:
 
 @dataclass(frozen=True)
 class UpdateTask:
-    """One node's local update, shippable to a worker process."""
+    """One node's local update, shippable to a worker process.
+
+    ``session`` is the node's lr_decay session index and MUST be
+    tracked by the engine (``FlatGossipSimulator._sessions``), never
+    inferred from ``node_id`` inside a trainer: per-trainer bookkeeping
+    diverges the moment two executors (process-pool workers, the
+    batched trainer, the serial workspace) see different subsets of a
+    node's updates.
+    """
 
     node_id: int
     vector: np.ndarray
     rng: np.random.Generator
     session: int
+
+    def __post_init__(self) -> None:
+        if self.session is None:
+            raise ValueError(
+                "UpdateTask.session must be an explicit session index; "
+                "per-trainer node_id inference is not reproducible "
+                "across executors"
+            )
 
 
 def _train_task(
@@ -207,6 +225,90 @@ class SerialExecutor(Executor):
             _train_task(self.trainer, self.layout, self.splits, task)
             for task in tasks
         ]
+
+
+class BatchedExecutor(Executor):
+    """Blocked multi-model training over a tick's wake tasks.
+
+    Stacks the independent local updates of same-tick waking nodes into
+    ``(B, dim)`` blocks and trains them in lockstep with
+    :class:`~repro.gossip.trainer.BatchedTrainer` — the training
+    counterpart of the PR-2 batched evaluator. Tasks are grouped by
+    local-sample count (lockstep mini-batch geometry); ``train_batch``
+    caps the rows per block (0 = one block per group, N > 0 = chunks of
+    N, -1 = force the per-row path). Rows the blocked path cannot take
+    — DP-SGD, models without a batched backward, empty splits — fall
+    back to the shared workspace trainer, so results match
+    :class:`SerialExecutor` bit for bit on float64 arenas (and within
+    rounding on float32, where the blocked path stays in float32).
+    """
+
+    name = "batched"
+
+    def __init__(
+        self,
+        trainer: LocalTrainer,
+        layout: StateLayout,
+        splits: Sequence[NodeSplit],
+        train_batch: int = 0,
+    ):
+        if train_batch < -1:
+            raise ValueError("train_batch must be >= -1")
+        self.trainer = trainer
+        self.layout = layout
+        self.splits = [(s.train.x, s.train.y) for s in splits]
+        self.block_size = train_batch
+        # Models without a batched backward (e.g. stochastic dropout)
+        # run entirely on the per-row fallback; constructing the
+        # blocked trainer would raise for them.
+        self._supported = supports_batched_backward(trainer.model)
+        self.batched = (
+            BatchedTrainer(trainer.model, trainer.config, layout)
+            if self._supported
+            else None
+        )
+
+    def train_batch(
+        self, tasks: list[UpdateTask]
+    ) -> list[tuple[np.ndarray, np.random.Generator]]:
+        # Config may have been swapped after construction (DP install
+        # replaces the dataclass on the shared trainer); re-read it.
+        config = self.trainer.config
+        if self.batched is not None:
+            self.batched.config = config
+        results: list = [None] * len(tasks)
+        groups: dict[int, list[int]] = {}
+        fallback: list[int] = []
+        for i, task in enumerate(tasks):
+            n = self.splits[task.node_id][0].shape[0]
+            if (
+                config.dp is not None
+                or not self._supported
+                or self.block_size == -1
+                or n == 0
+            ):
+                fallback.append(i)
+            else:
+                groups.setdefault(n, []).append(i)
+        for n, indices in sorted(groups.items()):
+            step = len(indices) if self.block_size == 0 else self.block_size
+            for start in range(0, len(indices), step):
+                chunk = indices[start : start + step]
+                block = np.stack([tasks[i].vector for i in chunk])
+                self.batched.train_block(
+                    block,
+                    [self.splits[tasks[i].node_id][0] for i in chunk],
+                    [self.splits[tasks[i].node_id][1] for i in chunk],
+                    [tasks[i].rng for i in chunk],
+                    [tasks[i].session for i in chunk],
+                )
+                for j, i in enumerate(chunk):
+                    results[i] = (block[j], tasks[i].rng)
+        for i in fallback:
+            results[i] = _train_task(
+                self.trainer, self.layout, self.splits, tasks[i]
+            )
+        return results
 
 
 # Worker-process globals, populated once by the pool initializer so
@@ -358,6 +460,13 @@ class FlatGossipSimulator(GossipSimulator):
                     self.layout,
                     splits,
                     self.config.n_workers,
+                )
+            elif self.config.executor == "batched":
+                self._executor = BatchedExecutor(
+                    trainer,
+                    self.layout,
+                    splits,
+                    train_batch=self.config.train_batch,
                 )
             else:
                 self._executor = SerialExecutor(trainer, self.layout, splits)

@@ -56,12 +56,20 @@ class SimulatorConfig:
       makes serial and parallel execution bit-identical; the dict
       engine interleaves delivery with the wake loop. The two engines
       are statistically equivalent but not bitwise comparable.
-    * ``executor`` — "serial" or "process"; the flat engine can run
-      the local updates of independently waking nodes in a process
-      pool. Ignored by the dict engine.
+    * ``executor`` — "serial", "process" or "batched"; the flat engine
+      can run the local updates of independently waking nodes in a
+      process pool, or train them in lockstep as one ``(B, dim)``
+      block ("batched" — DP-SGD and models without a batched backward
+      fall back per row). Ignored by the dict engine.
     * ``n_workers`` — process-pool size (0 = one per CPU, capped).
+    * ``train_batch`` — rows per blocked training op for the batched
+      executor: 0 = one block per same-size group of a tick's wake
+      tasks, N > 0 = blocks of at most N rows (bounds peak activation
+      memory for conv models), -1 = force the per-row path. Ignored by
+      the other executors.
     * ``arena_dtype`` — storage dtype of the flat arena; evaluation
-      math stays in this dtype (no float64 promotion).
+      *and* batched-executor training math stay in this dtype (no
+      float64 promotion).
     """
 
     n_nodes: int = 16
@@ -78,6 +86,7 @@ class SimulatorConfig:
     engine: str = "flat"
     executor: str = "serial"
     n_workers: int = 0
+    train_batch: int = 0
     arena_dtype: str = "float64"
     seed: int = 0
 
@@ -94,10 +103,14 @@ class SimulatorConfig:
             raise ValueError("delays must be non-negative")
         if self.engine not in ("dict", "flat"):
             raise ValueError("engine must be 'dict' or 'flat'")
-        if self.executor not in ("serial", "process"):
-            raise ValueError("executor must be 'serial' or 'process'")
+        if self.executor not in ("serial", "process", "batched"):
+            raise ValueError(
+                "executor must be 'serial', 'process' or 'batched'"
+            )
         if self.n_workers < 0:
             raise ValueError("n_workers must be non-negative")
+        if self.train_batch < -1:
+            raise ValueError("train_batch must be >= -1")
         if self.arena_dtype not in ("float32", "float64"):
             raise ValueError("arena_dtype must be 'float32' or 'float64'")
 

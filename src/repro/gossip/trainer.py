@@ -9,16 +9,22 @@ keeps memory bounded when simulating many nodes.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
+from repro.nn.batched import (
+    BatchedModel,
+    parameter_column_runs,
+)
+from repro.nn.flat import StateLayout
 from repro.nn.layers import Module
-from repro.nn.loss import CrossEntropyLoss
-from repro.nn.optim import SGD
+from repro.nn.loss import CrossEntropyLoss, batched_cross_entropy_grad
+from repro.nn.optim import SGD, BatchedSGD
 from repro.nn.serialize import State, get_state, set_state
 from repro.privacy.dp import DPSGDConfig, clip_per_sample, noisy_gradient
 
-__all__ = ["TrainerConfig", "LocalTrainer"]
+__all__ = ["TrainerConfig", "LocalTrainer", "BatchedTrainer"]
 
 
 @dataclass(frozen=True)
@@ -101,6 +107,12 @@ class LocalTrainer:
         lr = self.config.learning_rate * (self.config.lr_decay**session)
         set_state(self.model, state)
         self.model.train()
+        # Train in the state's dtype: a float32 arena row must not be
+        # promoted to float64 through float64 inputs (dtype audit —
+        # loss and optimizer internals preserve it downstream).
+        dtype = self.model.parameters()[0].data.dtype
+        if x.dtype != dtype:
+            x = x.astype(dtype)
         optimizer = SGD(
             self.model.parameters(),
             lr=lr,
@@ -160,3 +172,108 @@ class LocalTrainer:
         for param, grad in zip(params, averaged):
             param.accumulate(grad)
         optimizer.step()
+
+
+class BatchedTrainer:
+    """Lockstep local SGD for a block of models (one arena row each).
+
+    The blocked counterpart of :class:`LocalTrainer`: ``train_block``
+    runs ``local_epochs`` of per-row mini-batch SGD over a ``(B, dim)``
+    parameter block, where every row draws its mini-batches from its
+    *own* generator in the legacy order (one permutation per epoch),
+    steps with its own ``lr_decay ** session``-cooled learning rate, and
+    starts each call with fresh momentum state — exactly the semantics
+    of running :class:`LocalTrainer` row by row. All math runs in the
+    block dtype (a float32 arena trains in float32); in float64 the
+    final rows are bit-identical to the workspace path.
+
+    Constraints the caller (the batched executor) enforces by grouping:
+    every row of a block must hold the same number of local samples
+    (lockstep mini-batch geometry), and DP-SGD or models without a
+    batched backward stay on the per-row path.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        config: TrainerConfig,
+        layout: StateLayout | None = None,
+    ):
+        self.model = model
+        self.config = config
+        self.layout = (
+            layout if layout is not None else StateLayout.from_model(model)
+        )
+        self._batched = BatchedModel(model, self.layout)
+        self._param_runs = parameter_column_runs(self.layout)
+        self.steps_taken = 0
+
+    def train_block(
+        self,
+        params: np.ndarray,
+        xs: Sequence[np.ndarray],
+        ys: Sequence[np.ndarray],
+        rngs: Sequence[np.random.Generator],
+        sessions: Sequence[int],
+    ) -> np.ndarray:
+        """Train every row of ``params`` in place; returns the block.
+
+        ``xs[b]``/``ys[b]`` are row b's local split, ``rngs[b]`` its
+        generator (mutated — batch orders draw from it exactly as the
+        serial path would), ``sessions[b]`` its lr_decay session index.
+        """
+        if self.config.dp is not None:
+            raise ValueError(
+                "DP-SGD has no batched path; train those rows serially"
+            )
+        b = params.shape[0]
+        if not (len(xs) == len(ys) == len(rngs) == len(sessions) == b):
+            raise ValueError("need one split/rng/session per block row")
+        if b == 0 or self.config.local_epochs == 0:
+            return params
+        n = xs[0].shape[0]
+        if any(x.shape[0] != n for x in xs):
+            raise ValueError(
+                "all rows of a block must hold the same number of samples"
+            )
+        if n == 0:
+            return params
+        config = self.config
+        dtype = params.dtype
+        x_all = np.stack(xs)
+        if x_all.dtype != dtype:
+            x_all = x_all.astype(dtype)
+        y_all = np.stack(ys)
+        lrs = np.array(
+            [
+                config.learning_rate * (config.lr_decay**session)
+                for session in sessions
+            ]
+        )
+        optimizer = BatchedSGD(
+            self._param_runs,
+            lrs,
+            momentum=config.momentum,
+            weight_decay=config.weight_decay,
+        )
+        # backward() writes every parameter slot, so one uninitialized
+        # buffer serves all steps without zeroing.
+        grads = np.empty_like(params)
+        rows = np.arange(b)[:, None]
+        for _ in range(config.local_epochs):
+            orders = [rng.permutation(n) for rng in rngs]
+            for start in range(0, n, config.batch_size):
+                batch = np.stack(
+                    [order[start : start + config.batch_size] for order in orders]
+                )
+                logits = self._batched.forward(params, x_all[rows, batch])
+                _, grad = batched_cross_entropy_grad(
+                    logits,
+                    y_all[rows, batch],
+                    config.label_smoothing,
+                    with_losses=False,
+                )
+                self._batched.backward(grad, grads)
+                optimizer.step(params, grads)
+                self.steps_taken += 1
+        return params

@@ -25,10 +25,16 @@ from repro.nn.layers import (
     Residual,
     Identity,
 )
-from repro.nn.loss import CrossEntropyLoss, MSELoss
-from repro.nn.optim import SGD, StepLR, ConstantLR
+from repro.nn.loss import CrossEntropyLoss, MSELoss, batched_cross_entropy_grad
+from repro.nn.optim import SGD, BatchedSGD, StepLR, ConstantLR
 from repro.nn.models import build_cnn, build_resnet8, build_mlp, build_model
-from repro.nn.batched import batched_forward, supports_batched_forward
+from repro.nn.batched import (
+    BatchedModel,
+    batched_forward,
+    parameter_column_runs,
+    supports_batched_backward,
+    supports_batched_forward,
+)
 from repro.nn.flat import StateLayout
 from repro.nn.serialize import (
     get_state,
@@ -59,14 +65,19 @@ __all__ = [
     "Identity",
     "CrossEntropyLoss",
     "MSELoss",
+    "batched_cross_entropy_grad",
     "SGD",
+    "BatchedSGD",
     "StepLR",
     "ConstantLR",
     "build_cnn",
     "build_resnet8",
     "build_mlp",
     "build_model",
+    "BatchedModel",
     "batched_forward",
+    "parameter_column_runs",
+    "supports_batched_backward",
     "supports_batched_forward",
     "StateLayout",
     "get_state",

@@ -1,4 +1,4 @@
-"""Batched eval-mode forward: score B parameter vectors in one pass.
+"""Batched multi-model forward (and train-mode forward/backward).
 
 The observer's hot loop evaluates *every* node's model against the same
 eval split each round. Reloading one dict-``State`` at a time into a
@@ -31,6 +31,19 @@ Conv2d, BatchNorm2d, the poolings, the elementwise activations,
 Flatten, Dropout, Sequential, Residual, Identity); use
 :func:`supports_batched_forward` to test a model before relying on
 :func:`batched_forward`.
+
+**Training**: :class:`BatchedModel` is the train-mode counterpart —
+a blocked forward that caches what the backward needs, and a blocked
+backward that accumulates per-row parameter gradients into a
+``(B, dim)`` gradient block laid out like the parameter block. Each
+row's math reproduces the per-model :class:`~repro.nn.layers.Module`
+pass operation for operation (BatchNorm runs in training mode and
+updates each row's running statistics *inside* the parameter block),
+so a float64 block trains bit-identically to the row-by-row workspace
+path. Models containing stochastic layers (Dropout with ``p > 0``)
+have no batched backward — their masks draw from the layer's own
+generator in per-task order, which a lockstep block cannot reproduce;
+use :func:`supports_batched_backward` to test, and fall back per row.
 """
 
 from __future__ import annotations
@@ -58,7 +71,13 @@ from repro.nn.layers import (
     Tanh,
 )
 
-__all__ = ["batched_forward", "supports_batched_forward"]
+__all__ = [
+    "batched_forward",
+    "supports_batched_forward",
+    "supports_batched_backward",
+    "parameter_column_runs",
+    "BatchedModel",
+]
 
 _LEAF_TYPES = (
     Dense,
@@ -85,6 +104,45 @@ def supports_batched_forward(model: Module) -> bool:
         if not isinstance(module, _LEAF_TYPES):
             return False
     return True
+
+
+def supports_batched_backward(model: Module) -> bool:
+    """True when every module has a batched train-mode forward AND backward.
+
+    Dropout with ``p > 0`` is excluded: its masks draw from the layer's
+    own generator in per-task order, which a lockstep block cannot
+    reproduce (``p == 0`` is the identity and batches fine).
+    """
+    for module in model.modules():
+        if isinstance(module, (Sequential, Residual)):
+            continue
+        if isinstance(module, Dropout):
+            if module.p > 0.0:
+                return False
+            continue
+        if not isinstance(module, _LEAF_TYPES):
+            return False
+    return True
+
+
+def parameter_column_runs(layout: StateLayout) -> list[tuple[int, int]]:
+    """Merged ``[start, stop)`` column ranges of trainable slots.
+
+    Buffer slots (names prefixed ``buffer:``, e.g. BatchNorm running
+    statistics) are storage the optimizer must never step; every other
+    slot is a parameter column. Adjacent parameter slots merge into one
+    run so a block optimizer touches few large column slices.
+    """
+    runs: list[tuple[int, int]] = []
+    for slot in layout.slots:
+        if slot.name.startswith("buffer:"):
+            continue
+        start, stop = slot.offset, slot.offset + slot.size
+        if runs and runs[-1][1] == start:
+            runs[-1] = (runs[-1][0], stop)
+        else:
+            runs.append((start, stop))
+    return runs
 
 
 class _Block:
@@ -278,3 +336,318 @@ def _sigmoid(x: np.ndarray) -> np.ndarray:
     ex = np.exp(x[~pos])
     out[~pos] = ex / (1.0 + ex)
     return out
+
+
+# ---------------------------------------------------------------------------
+# Train-mode forward/backward over a parameter block
+# ---------------------------------------------------------------------------
+
+
+class BatchedModel:
+    """Blocked train-mode forward/backward for B models at once.
+
+    ``forward`` runs row ``b``'s model on its own mini-batch ``x[b]``
+    (inputs are always per-model in training — every node owns its
+    split) and caches activations; ``backward`` backpropagates a
+    ``(B, N, classes)`` logits gradient and accumulates per-row
+    parameter gradients into a ``(B, dim)`` gradient block addressed by
+    the same layout as the parameter block.
+
+    Contracts (on top of the module-level layout/dtype contracts):
+
+    * **Training semantics** — BatchNorm normalizes with each row's
+      mini-batch statistics and updates that row's running buffers in
+      place *inside* the parameter block, exactly as ``model.train()``
+      would on the workspace module.
+    * **Row-for-row parity** — every per-row slice computation uses the
+      same primitive (and the same operand layout) as the corresponding
+      ``Module.forward``/``backward``, so a float64 block reproduces the
+      workspace path bit for bit. Conv contractions therefore run the
+      serial einsum per row instead of one fused contraction — the win
+      for conv models is the batched everything-else; dense models
+      batch end to end.
+    * **One forward at a time** — caches are keyed per layer and
+      overwritten by the next ``forward``; call ``backward`` before the
+      next step, with the forward's parameter block still alive.
+    """
+
+    def __init__(self, model: Module, layout: StateLayout):
+        if not supports_batched_backward(model):
+            raise ValueError(
+                f"model {type(model).__name__} has no batched backward; "
+                "check supports_batched_backward(model) first"
+            )
+        self.model = model
+        self.layout = layout
+        self._block: _Block | None = None
+        self._cache: dict[str, object] = {}
+
+    def forward(self, params: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """Logits of row b's model on ``x[b]``: ``(B, N, ...) -> (B, N, C)``."""
+        self._block = _Block(self.layout, np.asarray(params))
+        x = np.asarray(x, dtype=self._block.dtype)
+        if x.shape[0] != self._block.b:
+            raise ValueError(
+                f"input must have leading size {self._block.b}, got {x.shape}"
+            )
+        self._cache = {}
+        return self._fwd(self.model, "", x)
+
+    def backward(self, grad_out: np.ndarray, grads: np.ndarray) -> np.ndarray:
+        """Backprop ``grad_out``, filling the ``(B, dim)`` gradient block.
+
+        Every parameter slot is *written* exactly once per pass (no
+        accumulation), so ``grads`` needs no zeroing between steps —
+        pass an uninitialized buffer and reuse it. Buffer slots (e.g.
+        BatchNorm running statistics) are left untouched. Returns the
+        gradient with respect to the forward's input.
+        """
+        if self._block is None:
+            raise RuntimeError("backward called before forward")
+        gblock = _Block(self.layout, np.asarray(grads))
+        if gblock.b != self._block.b:
+            raise ValueError(
+                f"grads must have {self._block.b} rows, got {gblock.b}"
+            )
+        return self._bwd(self.model, "", grad_out, gblock)
+
+    # -- forward dispatch ---------------------------------------------
+
+    def _fwd(self, module: Module, prefix: str, x: np.ndarray) -> np.ndarray:
+        block = self._block
+        if isinstance(module, Sequential):
+            for i, layer in enumerate(module.layers):
+                x = self._fwd(layer, f"{prefix}{i}.", x)
+            return x
+        if isinstance(module, Residual):
+            out = self._fwd(module.body, prefix + "body.", x) + self._fwd(
+                module.shortcut, prefix + "shortcut.", x
+            )
+            self._cache[prefix] = out
+            return F.relu(out)
+        if isinstance(module, Dense):
+            self._cache[prefix] = x
+            out = np.matmul(x, block.get(prefix + "weight"))
+            if module.bias is not None:
+                out = out + block.get(prefix + "bias")[:, None, :]
+            return out
+        if isinstance(module, Conv2d):
+            return self._conv_fwd(module, prefix, x)
+        if isinstance(module, BatchNorm2d):
+            return self._batchnorm_fwd(module, prefix, x)
+        if isinstance(module, MaxPool2d):
+            b, n, c, h, w = x.shape
+            k = module.kernel_size
+            if h % k or w % k:
+                raise ValueError(
+                    f"MaxPool2d requires H and W divisible by {k}, got {x.shape}"
+                )
+            windows = x.reshape(b, n, c, h // k, k, w // k, k)
+            out = windows.max(axis=(4, 6))
+            self._cache[prefix] = (
+                windows == out[:, :, :, :, None, :, None],
+                x.shape,
+            )
+            return out
+        if isinstance(module, AvgPool2d):
+            b, n, c, h, w = x.shape
+            k = module.kernel_size
+            if h % k or w % k:
+                raise ValueError(
+                    f"AvgPool2d requires H and W divisible by {k}, got {x.shape}"
+                )
+            self._cache[prefix] = x.shape
+            return x.reshape(b, n, c, h // k, k, w // k, k).mean(axis=(4, 6))
+        if isinstance(module, GlobalAvgPool2d):
+            self._cache[prefix] = x.shape
+            return x.mean(axis=(3, 4))
+        if isinstance(module, ReLU):
+            self._cache[prefix] = x
+            return F.relu(x)
+        if isinstance(module, LeakyReLU):
+            self._cache[prefix] = x
+            return np.where(x > 0, x, module.slope * x)
+        if isinstance(module, Sigmoid):
+            out = _sigmoid(x)
+            self._cache[prefix] = out
+            return out
+        if isinstance(module, Tanh):
+            out = np.tanh(x)
+            self._cache[prefix] = out
+            return out
+        if isinstance(module, Flatten):
+            self._cache[prefix] = x.shape
+            return x.reshape(x.shape[0], x.shape[1], -1)
+        if isinstance(module, (Dropout, Identity)):
+            # Dropout reaches here only with p == 0 (the identity);
+            # supports_batched_backward rejects stochastic dropout.
+            return x
+        raise NotImplementedError(
+            f"no batched train-mode forward for {type(module).__name__}"
+        )
+
+    def _conv_fwd(self, module: Conv2d, prefix: str, x: np.ndarray) -> np.ndarray:
+        block = self._block
+        b, n = x.shape[:2]
+        cols, out_h, out_w = F.im2col(
+            x.reshape((b * n,) + x.shape[2:]),
+            module.kernel_size,
+            module.stride,
+            module.padding,
+        )
+        cols = cols.reshape(b, n, cols.shape[1], cols.shape[2])
+        self._cache[prefix] = (cols, x.shape, out_h, out_w)
+        w_mat = block.get(prefix + "weight").reshape(
+            b, module.out_channels, -1
+        )
+        out = np.empty(
+            (b, n, module.out_channels, cols.shape[3]), dtype=block.dtype
+        )
+        # The serial einsum, one row at a time: same contraction order,
+        # same operand layout, bit-identical slices.
+        for i in range(b):
+            np.einsum("ok,nkp->nop", w_mat[i], cols[i], out=out[i])
+        if module.bias is not None:
+            out = out + block.get(prefix + "bias")[:, None, :, None]
+        return out.reshape(b, n, module.out_channels, out_h, out_w)
+
+    def _batchnorm_fwd(
+        self, module: BatchNorm2d, prefix: str, x: np.ndarray
+    ) -> np.ndarray:
+        block = self._block
+        mean = x.mean(axis=(1, 3, 4))  # each row's own batch statistics
+        var = x.var(axis=(1, 3, 4))
+        running_mean = block.get("buffer:" + prefix + "running_mean")
+        running_var = block.get("buffer:" + prefix + "running_var")
+        running_mean[...] = (
+            (1 - module.momentum) * running_mean + module.momentum * mean
+        )
+        running_var[...] = (
+            (1 - module.momentum) * running_var + module.momentum * var
+        )
+        inv_std = 1.0 / np.sqrt(var + module.eps)
+        x_hat = (x - mean[:, None, :, None, None]) * inv_std[
+            :, None, :, None, None
+        ]
+        self._cache[prefix] = (x_hat, inv_std, x.shape)
+        gamma = block.get(prefix + "gamma")
+        beta = block.get(prefix + "beta")
+        return (
+            gamma[:, None, :, None, None] * x_hat
+            + beta[:, None, :, None, None]
+        )
+
+    # -- backward dispatch --------------------------------------------
+
+    def _bwd(
+        self, module: Module, prefix: str, grad: np.ndarray, gblock: _Block
+    ) -> np.ndarray:
+        block = self._block
+        if isinstance(module, Sequential):
+            for i in reversed(range(len(module.layers))):
+                grad = self._bwd(
+                    module.layers[i], f"{prefix}{i}.", grad, gblock
+                )
+            return grad
+        if isinstance(module, Residual):
+            pre_relu = self._cache[prefix]
+            grad = grad * F.relu_grad(pre_relu)
+            return self._bwd(
+                module.body, prefix + "body.", grad, gblock
+            ) + self._bwd(module.shortcut, prefix + "shortcut.", grad, gblock)
+        if isinstance(module, Dense):
+            x = self._cache[prefix]
+            np.matmul(
+                x.transpose(0, 2, 1), grad, out=gblock.get(prefix + "weight")
+            )
+            if module.bias is not None:
+                np.sum(grad, axis=1, out=gblock.get(prefix + "bias"))
+            return np.matmul(
+                grad, block.get(prefix + "weight").transpose(0, 2, 1)
+            )
+        if isinstance(module, Conv2d):
+            return self._conv_bwd(module, prefix, grad, gblock)
+        if isinstance(module, BatchNorm2d):
+            return self._batchnorm_bwd(module, prefix, grad, gblock)
+        if isinstance(module, MaxPool2d):
+            mask, x_shape = self._cache[prefix]
+            # Cast like the serial layer: int64 counts would promote a
+            # float32 backward pass to float64.
+            counts = mask.sum(axis=(4, 6), keepdims=True).astype(grad.dtype)
+            expanded = grad[:, :, :, :, None, :, None] * mask / counts
+            return expanded.reshape(x_shape)
+        if isinstance(module, AvgPool2d):
+            x_shape = self._cache[prefix]
+            b, n, c, h, w = x_shape
+            k = module.kernel_size
+            expanded = np.broadcast_to(
+                grad[:, :, :, :, None, :, None] * (1.0 / (k * k)),
+                (b, n, c, h // k, k, w // k, k),
+            )
+            return expanded.reshape(x_shape).copy()
+        if isinstance(module, GlobalAvgPool2d):
+            x_shape = self._cache[prefix]
+            b, n, c, h, w = x_shape
+            return np.broadcast_to(
+                grad[:, :, :, None, None] * (1.0 / (h * w)), x_shape
+            ).copy()
+        if isinstance(module, ReLU):
+            return grad * F.relu_grad(self._cache[prefix])
+        if isinstance(module, LeakyReLU):
+            x = self._cache[prefix]
+            return grad * np.where(x > 0, 1.0, module.slope)
+        if isinstance(module, Sigmoid):
+            out = self._cache[prefix]
+            return grad * out * (1.0 - out)
+        if isinstance(module, Tanh):
+            out = self._cache[prefix]
+            return grad * (1.0 - out**2)
+        if isinstance(module, Flatten):
+            return grad.reshape(self._cache[prefix])
+        if isinstance(module, (Dropout, Identity)):
+            return grad
+        raise NotImplementedError(
+            f"no batched train-mode backward for {type(module).__name__}"
+        )
+
+    def _conv_bwd(
+        self, module: Conv2d, prefix: str, grad: np.ndarray, gblock: _Block
+    ) -> np.ndarray:
+        block = self._block
+        cols, x_shape, out_h, out_w = self._cache[prefix]
+        b, n = grad.shape[:2]
+        o = module.out_channels
+        grad_flat = grad.reshape(b, n, o, out_h * out_w)
+        w_mat = block.get(prefix + "weight").reshape(b, o, -1)
+        gw = gblock.get(prefix + "weight").reshape(b, o, -1)
+        k = cols.shape[2]
+        grad_cols = np.empty((b, n, k, cols.shape[3]), dtype=grad.dtype)
+        for i in range(b):
+            np.einsum("nop,nkp->ok", grad_flat[i], cols[i], out=gw[i])
+            np.einsum("ok,nop->nkp", w_mat[i], grad_flat[i], out=grad_cols[i])
+        if module.bias is not None:
+            np.sum(grad_flat, axis=(1, 3), out=gblock.get(prefix + "bias"))
+        gx = F.col2im(
+            grad_cols.reshape(b * n, k, -1),
+            (b * n,) + x_shape[2:],
+            module.kernel_size,
+            module.stride,
+            module.padding,
+        )
+        return gx.reshape(x_shape)
+
+    def _batchnorm_bwd(
+        self, module: BatchNorm2d, prefix: str, grad: np.ndarray, gblock: _Block
+    ) -> np.ndarray:
+        block = self._block
+        x_hat, inv_std, x_shape = self._cache[prefix]
+        _, n, _, h, w = x_shape
+        m = n * h * w
+        np.sum(grad * x_hat, axis=(1, 3, 4), out=gblock.get(prefix + "gamma"))
+        np.sum(grad, axis=(1, 3, 4), out=gblock.get(prefix + "beta"))
+        g = grad * block.get(prefix + "gamma")[:, None, :, None, None]
+        sum_g = g.sum(axis=(1, 3, 4), keepdims=True)
+        sum_gx = (g * x_hat).sum(axis=(1, 3, 4), keepdims=True)
+        return inv_std[:, None, :, None, None] * (
+            g - sum_g / m - x_hat * sum_gx / m
+        )

@@ -313,8 +313,12 @@ class MaxPool2d(Module):
         n, c, h, w = self._x_shape
         k = self.kernel_size
         # Ties route the gradient to every maximal element; dividing by the
-        # tie count keeps the operator a true adjoint.
-        counts = self._mask.sum(axis=(3, 5), keepdims=True)
+        # tie count keeps the operator a true adjoint. Counts are cast to
+        # the gradient dtype — an int64 divisor would promote a float32
+        # backward pass to float64.
+        counts = self._mask.sum(axis=(3, 5), keepdims=True).astype(
+            grad_out.dtype
+        )
         expanded = (
             grad_out[:, :, :, None, :, None] * self._mask / counts
         )
@@ -380,8 +384,12 @@ class Sigmoid(Module):
         self._out: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        # Numerically stable piecewise evaluation.
-        out = np.empty_like(x, dtype=np.float64)
+        # Numerically stable piecewise evaluation, in the input's
+        # floating dtype (float32 activations stay float32).
+        x = np.asarray(x)
+        if not np.issubdtype(x.dtype, np.floating):
+            x = x.astype(np.float64)
+        out = np.empty_like(x)
         pos = x >= 0
         out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
         ex = np.exp(x[~pos])

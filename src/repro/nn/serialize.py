@@ -47,6 +47,11 @@ def set_state(model: Module, state: State) -> None:
                 f"{state[name].shape} vs {param.data.shape}"
             )
         param.data = state[name].copy()
+        # Keep the gradient buffer in the parameter's dtype: loading a
+        # float32 state must not leave a float64 accumulator behind
+        # (gradient math would silently promote).
+        if param.grad.dtype != param.data.dtype:
+            param.grad = np.zeros_like(param.data)
         param_names.add(name)
     for name, _ in model.named_buffers():
         key = "buffer:" + name

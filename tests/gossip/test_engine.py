@@ -7,12 +7,15 @@ import pytest
 
 from repro.data import make_node_splits, make_synthetic_tabular_dataset
 from repro.gossip import (
+    BatchedExecutor,
     FlatGossipSimulator,
     GossipSimulator,
     LocalTrainer,
+    SerialExecutor,
     SimulatorConfig,
     StateArena,
     TrainerConfig,
+    UpdateTask,
     make_protocol,
     make_simulator,
 )
@@ -31,6 +34,8 @@ def build_flat(
     arena_dtype="float64",
     seed=0,
     lr_decay=1.0,
+    momentum=0.0,
+    dp=None,
     max_updates=None,
     **config_kwargs,
 ):
@@ -39,10 +44,11 @@ def build_flat(
         model,
         TrainerConfig(
             learning_rate=0.05,
-            momentum=0.0,
+            momentum=momentum,
             local_epochs=1,
             batch_size=8,
             lr_decay=lr_decay,
+            dp=dp,
         ),
     )
     train, _ = make_synthetic_tabular_dataset(
@@ -262,21 +268,153 @@ class TestFlatSimulator:
             FlatGossipSimulator(config, FakeProtocol(), splits, get_state(model))
 
 
-class TestExecutorParity:
-    def test_process_executor_bit_identical_to_serial(self):
-        """The acceptance property at unit scale: a process-pool run
-        reproduces the serial run bit for bit."""
-        serial = build_flat(executor="serial", seed=5)
+class TestExecutorContract:
+    """The shared executor contract, one parametrized suite for every
+    backend: same tasks -> same final states as SerialExecutor, bit for
+    bit on a float64 arena (replaces the old per-executor checks)."""
+
+    @pytest.mark.parametrize(
+        "executor,kwargs",
+        [
+            ("process", dict(n_workers=2)),
+            ("batched", dict()),
+            ("batched", dict(train_batch=2)),  # chunked blocks
+            ("batched", dict(train_batch=-1)),  # forced per-row path
+        ],
+        ids=["process", "batched", "batched-chunk2", "batched-per-row"],
+    )
+    @pytest.mark.parametrize("protocol_name", ["samo", "base_gossip"])
+    def test_run_bit_identical_to_serial(self, protocol_name, executor, kwargs):
+        serial = build_flat(
+            protocol_name, executor="serial", seed=5, lr_decay=0.5,
+            momentum=0.9,
+        )
         serial.run(2)
         serial.close()
-        parallel = build_flat(executor="process", n_workers=2, seed=5)
-        parallel.run(2)
-        parallel.close()
-        assert np.array_equal(serial.arena.data, parallel.arena.data)
-        assert serial.messages_sent == parallel.messages_sent
+        other = build_flat(
+            protocol_name, executor=executor, seed=5, lr_decay=0.5,
+            momentum=0.9, **kwargs,
+        )
+        other.run(2)
+        other.close()
+        assert np.array_equal(serial.arena.data, other.arena.data)
+        assert serial.messages_sent == other.messages_sent
         assert [n.updates_performed for n in serial.nodes] == [
-            n.updates_performed for n in parallel.nodes
+            n.updates_performed for n in other.nodes
         ]
+        assert serial._sessions == other._sessions
+
+    @pytest.mark.parametrize(
+        "make_other",
+        [
+            lambda trainer, layout, splits: BatchedExecutor(
+                trainer, layout, splits
+            ),
+            lambda trainer, layout, splits: BatchedExecutor(
+                trainer, layout, splits, train_batch=3
+            ),
+        ],
+        ids=["batched", "batched-chunk3"],
+    )
+    def test_same_tasks_same_results(self, make_other):
+        """Task-level contract: feeding the same UpdateTask batch to any
+        executor yields the serial executor's outputs."""
+        sim = build_flat(lr_decay=0.5, momentum=0.9)
+        trainer = sim.protocol.trainer
+        splits = [node.split for node in sim.nodes]
+        serial = SerialExecutor(trainer, sim.layout, splits)
+        other = make_other(trainer, sim.layout, splits)
+
+        def make_tasks():
+            return [
+                UpdateTask(
+                    i,
+                    sim.arena.row(i).copy(),
+                    np.random.default_rng(200 + i),
+                    session=i % 3,
+                )
+                for i in range(sim.config.n_nodes)
+            ]
+
+        serial_results = serial.train_batch(make_tasks())
+        other_results = other.train_batch(make_tasks())
+        assert len(serial_results) == len(other_results)
+        for (serial_vec, serial_rng), (other_vec, other_rng) in zip(
+            serial_results, other_results
+        ):
+            np.testing.assert_array_equal(serial_vec, other_vec)
+            assert serial_rng.random() == other_rng.random()
+
+    def test_float32_arena_runs_match_serial(self):
+        """On a float32 arena the blocked path trains in float32 like
+        the (audited) serial path — results still agree."""
+        serial = build_flat(arena_dtype="float32", seed=9)
+        serial.run(2)
+        serial.close()
+        batched = build_flat(arena_dtype="float32", executor="batched", seed=9)
+        batched.run(2)
+        batched.close()
+        assert batched.arena.data.dtype == np.float32
+        np.testing.assert_allclose(
+            serial.arena.data, batched.arena.data, rtol=1e-4, atol=1e-5
+        )
+
+    def test_batched_executor_falls_back_per_row_for_dp(self):
+        """DP-SGD has no blocked path: the batched executor must route
+        every task through the per-row workspace trainer and still match
+        the serial executor bit for bit (same noise draws)."""
+        from repro.privacy.dp import DPSGDConfig
+
+        dp = DPSGDConfig(clip_norm=1.0, noise_multiplier=0.3)
+        serial = build_flat(dp=dp, seed=7)
+        serial.run(2)
+        serial.close()
+        batched = build_flat(dp=dp, executor="batched", seed=7)
+        batched.run(2)
+        executor = batched.executor()  # before close() drops it
+        batched.close()
+        assert np.array_equal(serial.arena.data, batched.arena.data)
+        # The blocked trainer must never have stepped.
+        assert executor.batched.steps_taken == 0
+        assert sum(n.updates_performed for n in batched.nodes) > 0
+
+    def test_unsupported_architecture_falls_back_per_row(self):
+        """A model without a batched backward (stochastic dropout) must
+        construct and run on the per-row fallback, matching serial —
+        not crash at executor construction."""
+        dropout_builder = partial(build_mlp, 16, 4, hidden=(8,), dropout=0.3)
+
+        def build(executor):
+            model = dropout_builder(rng=np.random.default_rng(0))
+            trainer = LocalTrainer(
+                model,
+                TrainerConfig(learning_rate=0.05, local_epochs=1,
+                              batch_size=8),
+            )
+            train, _ = make_synthetic_tabular_dataset(
+                "t", 300, 30, num_features=16, num_classes=4, seed=0
+            )
+            splits = make_node_splits(
+                train, 6, train_per_node=16, test_per_node=8, seed=0
+            )
+            config = SimulatorConfig(
+                n_nodes=6, view_size=2, ticks_per_round=20, wake_mu=20,
+                wake_sigma=2, executor=executor, seed=0,
+            )
+            return make_simulator(
+                config, make_protocol("samo", trainer), splits,
+                get_state(model), model_builder=dropout_builder,
+            )
+
+        serial = build("serial")
+        serial.run(2)
+        serial.close()
+        batched = build("batched")
+        batched.run(2)
+        executor = batched.executor()
+        batched.close()
+        assert executor.batched is None  # no blocked trainer built
+        assert np.array_equal(serial.arena.data, batched.arena.data)
 
     def test_process_executor_requires_model_builder(self):
         model = MODEL_BUILDER(rng=np.random.default_rng(0))
@@ -357,6 +495,106 @@ class TestEngineDefault:
         assert type(sim) is GossipSimulator
         sim.run(1)
         assert sim.messages_sent > 0
+
+
+class TestSessionFlowsThroughTask:
+    """lr_decay sessions are engine bookkeeping, never per-trainer state:
+    the task carries the session index so every executor (serial
+    workspace, process-pool workers, the batched trainer) sees the same
+    learning rate for the same update."""
+
+    def test_update_task_requires_explicit_session(self):
+        with pytest.raises(ValueError, match="session"):
+            UpdateTask(0, np.zeros(4), np.random.default_rng(0), session=None)
+
+    def test_worker_trainers_reproduce_shared_trainer_sessions(self):
+        """Regression for per-trainer ``_sessions`` divergence: two
+        stateless worker trainers fed engine sessions must reproduce
+        what one shared trainer's node_id bookkeeping computes — the
+        failure mode being each worker starting its own count at 0."""
+        model = MODEL_BUILDER(rng=np.random.default_rng(0))
+        config = TrainerConfig(
+            learning_rate=0.1, momentum=0.0, local_epochs=1, batch_size=8,
+            lr_decay=0.5,
+        )
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(16, 16))
+        y = rng.integers(0, 4, size=16)
+        state = get_state(model)
+        shared = LocalTrainer(model, config)
+        expected = state
+        for _ in range(2):  # node 3 trains twice on the shared trainer
+            expected = shared.train(
+                expected, x, y, np.random.default_rng(4), node_id=3
+            )
+        # Engine-style: each update may land on a DIFFERENT worker
+        # trainer; the session index travels with the task.
+        out = state
+        for session in range(2):
+            worker = LocalTrainer(
+                MODEL_BUILDER(rng=np.random.default_rng(0)), config
+            )
+            out = worker.train(
+                out, x, y, np.random.default_rng(4), session=session
+            )
+            assert worker._sessions == {}  # explicit session: no bookkeeping
+        np.testing.assert_array_equal(
+            state_to_vector(expected), state_to_vector(out)
+        )
+
+    def test_engine_sessions_survive_executor_choice(self):
+        """The engine's session counters are identical across executors
+        (covered broadly by TestExecutorContract; this pins the counter
+        values themselves under lr_decay)."""
+        serial = build_flat(lr_decay=0.5, seed=11)
+        serial.run(3)
+        serial.close()
+        batched = build_flat(lr_decay=0.5, executor="batched", seed=11)
+        batched.run(3)
+        batched.close()
+        assert serial._sessions == batched._sessions
+        assert any(s > 0 for s in serial._sessions)
+
+
+class TestDtypeDrift:
+    """Fixed-seed float32-vs-float64 training drift stays bounded (the
+    ROADMAP audit item): same study, both arena dtypes."""
+
+    def _final_arenas(self, executor):
+        out = {}
+        for dtype in ("float64", "float32"):
+            sim = build_flat(
+                executor=executor, arena_dtype=dtype, seed=13, momentum=0.9,
+            )
+            sim.run(3)
+            sim.close()
+            out[dtype] = sim.arena.data.astype(np.float64)
+        return out
+
+    @pytest.mark.parametrize("executor", ["serial", "batched"])
+    def test_training_drift_bounded(self, executor):
+        arenas = self._final_arenas(executor)
+        scale = np.linalg.norm(arenas["float64"])
+        drift = np.linalg.norm(arenas["float32"] - arenas["float64"])
+        assert drift / scale < 1e-4, (
+            f"float32 training drifted {drift / scale:.2e} relative to "
+            f"float64 after 3 rounds (bound: 1e-4)"
+        )
+
+    def test_float32_training_stays_float32(self):
+        """The dtype audit: no hidden float64 promotion anywhere on the
+        float32 training path — after a run, the workspace model's
+        parameters AND gradient buffers hold float32 (the serial trainer
+        loads arena rows into the workspace; the gradient accumulators
+        must follow)."""
+        sim = build_flat(arena_dtype="float32", executor="serial", seed=13)
+        sim.run(2)
+        trainer = sim.protocol.trainer
+        sim.close()
+        assert sim.arena.data.dtype == np.float32
+        for param in trainer.model.parameters():
+            assert param.data.dtype == np.float32
+            assert param.grad.dtype == np.float32
 
 
 class TestStateMatrix:

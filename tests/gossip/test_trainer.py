@@ -284,3 +284,34 @@ class TestSessionBookkeeping:
         np.testing.assert_array_equal(
             state_to_vector(out_a), state_to_vector(out_b)
         )
+
+
+class TestFloat32Training:
+    """The dtype audit at trainer level: a float32 state trains fully in
+    float32 (inputs are cast down, loss/optimizer internals follow) and
+    lands close to the float64 result."""
+
+    def test_float32_state_trains_in_float32(self):
+        model, trainer = make_setup(local_epochs=1)
+        x, y = make_data()
+        state64 = get_state(model)
+        state32 = {k: v.astype(np.float32) for k, v in state64.items()}
+        out32 = trainer.train(state32, x, y, np.random.default_rng(2))
+        assert all(v.dtype == np.float32 for v in out32.values())
+        # Gradient buffers were rebuilt in float32 alongside the data.
+        for param in model.parameters():
+            assert param.grad.dtype == np.float32
+
+    def test_float32_drift_from_float64_is_bounded(self):
+        model, trainer = make_setup(local_epochs=1)
+        x, y = make_data()
+        state64 = get_state(model)
+        state32 = {k: v.astype(np.float32) for k, v in state64.items()}
+        out64 = state_to_vector(
+            trainer.train(state64, x, y, np.random.default_rng(2))
+        )
+        out32 = state_to_vector(
+            trainer.train(state32, x, y, np.random.default_rng(2))
+        ).astype(np.float64)
+        drift = np.linalg.norm(out32 - out64) / np.linalg.norm(out64)
+        assert drift < 1e-5

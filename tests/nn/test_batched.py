@@ -1,13 +1,31 @@
-"""Tests for the batched eval-mode forward over parameter blocks."""
+"""Tests for the batched forward/backward over parameter blocks.
+
+The training half is an equivalence harness: for every Table-2 model
+family, the blocked train-mode pass (``BatchedModel`` +
+``batched_cross_entropy_grad`` + ``BatchedSGD`` via ``BatchedTrainer``)
+must reproduce the per-row workspace path (``Module`` +
+``CrossEntropyLoss`` + ``SGD`` via ``LocalTrainer``) on fixed seeds —
+bit-exactly in float64, within rounding in float32.
+"""
 
 import numpy as np
 import pytest
 
-from repro.nn.batched import batched_forward, supports_batched_forward
+from repro.gossip.trainer import BatchedTrainer, LocalTrainer, TrainerConfig
+from repro.nn.batched import (
+    BatchedModel,
+    batched_forward,
+    parameter_column_runs,
+    supports_batched_backward,
+    supports_batched_forward,
+)
 from repro.nn.flat import StateLayout
-from repro.nn.layers import Dense, Module, Sequential
+from repro.nn.layers import Dense, Dropout, Module, ReLU, Sequential
+from repro.nn.loss import CrossEntropyLoss, batched_cross_entropy_grad
+from repro.nn.optim import SGD, BatchedSGD
 from repro.nn.models import build_model
-from repro.nn.serialize import get_state, set_state
+from repro.nn.serialize import get_state, set_state, state_to_vector
+from repro.nn.tensor import Parameter
 
 ARCHS = [
     ("mlp", dict(in_features=20, num_classes=7, hidden=(16, 8)), (9, 20)),
@@ -89,6 +107,346 @@ class TestBatchedForward:
         with pytest.raises(ValueError, match="leading size"):
             batched_forward(model, layout, params, np.zeros((3, 5, 10)),
                             shared=False)
+
+
+TRAIN_CONFIG = TrainerConfig(
+    learning_rate=0.05,
+    momentum=0.9,
+    weight_decay=5e-4,
+    local_epochs=2,
+    batch_size=5,
+    label_smoothing=0.1,
+    lr_decay=0.7,
+)
+
+
+def sample_shape(xshape):
+    """Per-sample input shape of one eval-harness entry."""
+    return xshape[1:]
+
+
+def make_training_block(arch, kwargs, xshape, n_rows=4, n=12, seed=0):
+    """Distinct states + per-row splits for one model family."""
+    rng = np.random.default_rng(seed)
+    model = build_model(arch, **kwargs)
+    template = get_state(model)
+    layout = StateLayout.from_state(template)
+    params = np.empty((n_rows, layout.dim))
+    states, xs, ys = [], [], []
+    num_classes = kwargs["num_classes"]
+    for b in range(n_rows):
+        state = {
+            k: v + 0.1 * rng.normal(size=v.shape)
+            for k, v in template.items()
+        }
+        states.append(state)
+        layout.pack(state, out=params[b])
+        xs.append(rng.normal(size=(n,) + sample_shape(xshape)))
+        ys.append(rng.integers(0, num_classes, size=n))
+    return model, layout, params, states, xs, ys
+
+
+class TestSupportsBatchedBackward:
+    def test_table2_families_supported(self):
+        for arch, kwargs, _ in ARCHS:
+            assert supports_batched_backward(build_model(arch, **kwargs))
+
+    def test_stochastic_dropout_rejected(self):
+        model = build_model(
+            "mlp", in_features=10, num_classes=4, hidden=(8,)
+        )
+        assert supports_batched_backward(model)
+        dropped = Sequential(Dense(10, 8), ReLU(), Dropout(0.3), Dense(8, 4))
+        assert not supports_batched_backward(dropped)
+        # p == 0 dropout is the identity and batches fine.
+        inert = Sequential(Dense(10, 8), Dropout(0.0), Dense(8, 4))
+        assert supports_batched_backward(inert)
+
+    def test_unknown_layer_rejected(self):
+        class Weird(Module):
+            def forward(self, x):
+                return x
+
+        assert not supports_batched_backward(Sequential(Dense(4, 2), Weird()))
+
+    def test_batched_model_refuses_unsupported(self):
+        layout = StateLayout.from_state({"w": np.zeros(1)})
+        with pytest.raises(ValueError, match="batched backward"):
+            BatchedModel(Sequential(Dropout(0.5)), layout)
+
+
+class TestParameterColumnRuns:
+    def test_runs_cover_exactly_the_parameter_columns(self):
+        model = build_model("resnet8", in_channels=3, num_classes=6, width=4)
+        layout = StateLayout.from_model(model)
+        runs = parameter_column_runs(layout)
+        covered = np.zeros(layout.dim, dtype=bool)
+        for start, stop in runs:
+            assert not covered[start:stop].any()  # runs never overlap
+            covered[start:stop] = True
+        for slot in layout.slots:
+            is_param = not slot.name.startswith("buffer:")
+            assert covered[slot.offset : slot.offset + slot.size].all() == is_param
+
+    def test_adjacent_parameter_slots_merge(self):
+        layout = StateLayout.from_state(
+            {"a": np.zeros(3), "b": np.zeros(2)}
+        )
+        assert parameter_column_runs(layout) == [(0, 5)]
+
+
+class TestBatchedModelGradients:
+    @pytest.mark.parametrize("arch,kwargs,xshape", ARCHS)
+    def test_one_step_matches_per_model_backward(self, arch, kwargs, xshape):
+        """Forward logits, loss values, parameter gradients and updated
+        BatchNorm running statistics all match the per-model train-mode
+        pass bit for bit (float64)."""
+        model, layout, params, states, xs, ys = make_training_block(
+            arch, kwargs, xshape, n_rows=3, n=6, seed=1
+        )
+        loss = CrossEntropyLoss(label_smoothing=0.1)
+        serial_logits, serial_losses, serial_grads, serial_buffers = (
+            [], [], [], []
+        )
+        for b, state in enumerate(states):
+            set_state(model, state)
+            model.train()
+            logits = model.forward(xs[b])
+            serial_losses.append(loss.forward(logits, ys[b]))
+            model.zero_grad()
+            model.backward(loss.backward())
+            serial_logits.append(logits)
+            serial_grads.append(
+                {name: p.grad.copy() for name, p in model.named_parameters()}
+            )
+            serial_buffers.append(
+                {
+                    "buffer:" + name: buf.copy()
+                    for name, buf in model.named_buffers()
+                }
+            )
+        batched = BatchedModel(model, layout)
+        logits = batched.forward(params, np.stack(xs))
+        losses, grad = batched_cross_entropy_grad(
+            logits, np.stack(ys), label_smoothing=0.1
+        )
+        grads = np.empty_like(params)
+        batched.backward(grad, grads)
+        for b in range(len(states)):
+            np.testing.assert_array_equal(logits[b], serial_logits[b])
+            assert losses[b] == serial_losses[b]
+            for name, expected in serial_grads[b].items():
+                slot = layout.slot(name)
+                got = grads[b, slot.offset : slot.offset + slot.size]
+                np.testing.assert_array_equal(
+                    got.reshape(slot.shape), expected
+                )
+            # Training-mode BatchNorm updated each row's running stats
+            # inside the parameter block.
+            for name, expected in serial_buffers[b].items():
+                slot = layout.slot(name)
+                got = params[b, slot.offset : slot.offset + slot.size]
+                np.testing.assert_array_equal(
+                    got.reshape(slot.shape), expected
+                )
+
+    @pytest.mark.parametrize("arch,kwargs,xshape", ARCHS)
+    def test_float32_backward_stays_float32(self, arch, kwargs, xshape):
+        """No layer's backward may promote a float32 block to float64
+        (regression: MaxPool's int64 tie counts used to)."""
+        model, layout, params, states, xs, ys = make_training_block(
+            arch, kwargs, xshape, n_rows=2, n=4, seed=7
+        )
+        params32 = params.astype(np.float32)
+        batched = BatchedModel(model, layout)
+        logits = batched.forward(params32, np.stack(xs))
+        assert logits.dtype == np.float32
+        _, grad = batched_cross_entropy_grad(logits, np.stack(ys))
+        grads = np.empty_like(params32)
+        gx = batched.backward(grad, grads)
+        assert gx.dtype == np.float32
+
+    def test_backward_before_forward_raises(self):
+        model = build_model("mlp", in_features=10, num_classes=4, hidden=(8,))
+        layout = StateLayout.from_model(model)
+        batched = BatchedModel(model, layout)
+        with pytest.raises(RuntimeError, match="before forward"):
+            batched.backward(np.zeros((2, 3, 4)), np.zeros((2, layout.dim)))
+
+    def test_forward_rejects_wrong_leading_dim(self):
+        model = build_model("mlp", in_features=10, num_classes=4, hidden=(8,))
+        layout = StateLayout.from_model(model)
+        batched = BatchedModel(model, layout)
+        with pytest.raises(ValueError, match="leading size"):
+            batched.forward(np.zeros((2, layout.dim)), np.zeros((3, 5, 10)))
+
+
+class TestBatchedSGD:
+    def _block(self, b=3, dim=7):
+        rng = np.random.default_rng(0)
+        return rng.normal(size=(b, dim)), rng.normal(size=(b, dim))
+
+    def test_matches_serial_sgd_row_for_row(self):
+        params, grads = self._block()
+        lrs = np.array([0.1, 0.05, 0.2])
+        serial_rows = []
+        for b in range(3):
+            p = Parameter(params[b].copy())
+            p.accumulate(grads[b])
+            SGD([p], lr=lrs[b], momentum=0.9, weight_decay=5e-4).step()
+            serial_rows.append(p.data)
+        opt = BatchedSGD([(0, 7)], lrs, momentum=0.9, weight_decay=5e-4)
+        opt.step(params, grads)
+        np.testing.assert_array_equal(params, np.stack(serial_rows))
+
+    def test_momentum_accumulates_like_serial(self):
+        params, grads = self._block()
+        p = Parameter(params[0].copy())
+        serial = SGD([p], lr=0.1, momentum=0.9)
+        batched = BatchedSGD([(0, 7)], np.full(3, 0.1), momentum=0.9)
+        for _ in range(3):
+            p.zero_grad()
+            p.accumulate(grads[0])
+            serial.step()
+            batched.step(params, grads)
+        np.testing.assert_array_equal(params[0], p.data)
+
+    def test_buffer_columns_never_touched(self):
+        params, grads = self._block()
+        before = params.copy()
+        opt = BatchedSGD([(0, 2), (5, 7)], np.full(3, 0.1), momentum=0.9,
+                         weight_decay=5e-4)
+        opt.step(params, grads)
+        np.testing.assert_array_equal(params[:, 2:5], before[:, 2:5])
+        assert not np.array_equal(params[:, :2], before[:, :2])
+
+    def test_grads_left_unmodified(self):
+        params, grads = self._block()
+        before = grads.copy()
+        BatchedSGD([(0, 7)], np.full(3, 0.1), momentum=0.9,
+                   weight_decay=5e-4).step(params, grads)
+        np.testing.assert_array_equal(grads, before)
+
+    def test_reset_state_clears_velocity(self):
+        params, grads = self._block()
+        opt = BatchedSGD([(0, 7)], np.full(3, 1.0), momentum=0.9)
+        opt.step(params, grads)
+        opt.reset_state()
+        fresh = params.copy()
+        opt.step(fresh, grads)  # no history: plain -lr*grad again
+        np.testing.assert_array_equal(fresh, params - 1.0 * grads)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            BatchedSGD([(0, 2)], np.array([0.1, -0.1]))
+        with pytest.raises(ValueError, match="momentum"):
+            BatchedSGD([(0, 2)], np.array([0.1]), momentum=-1.0)
+        opt = BatchedSGD([(0, 2)], np.array([0.1, 0.1]))
+        with pytest.raises(ValueError, match="blocks"):
+            opt.step(np.zeros((3, 2)), np.zeros((3, 2)))
+
+
+class TestBatchedTrainerParity:
+    """The equivalence harness: blocked training reproduces the per-row
+    workspace path on fixed seeds for every Table-2 model family."""
+
+    @pytest.mark.parametrize("arch,kwargs,xshape", ARCHS)
+    def test_exact_in_float64(self, arch, kwargs, xshape):
+        """Momentum, weight decay, label smoothing and per-row lr_decay
+        sessions all on: final states must match bit for bit."""
+        model, layout, params, states, xs, ys = make_training_block(
+            arch, kwargs, xshape, n_rows=4, n=12, seed=2
+        )
+        sessions = [0, 2, 1, 3]
+        serial = np.empty_like(params)
+        trainer = LocalTrainer(model, TRAIN_CONFIG)
+        for b, state in enumerate(states):
+            out = trainer.train(
+                state, xs[b], ys[b], np.random.default_rng(50 + b),
+                session=sessions[b],
+            )
+            layout.pack(out, out=serial[b])
+        batched = BatchedTrainer(model, TRAIN_CONFIG, layout)
+        rngs = [np.random.default_rng(50 + b) for b in range(4)]
+        batched.train_block(params, xs, ys, rngs, sessions)
+        np.testing.assert_array_equal(params, serial)
+
+    def test_rng_streams_advance_exactly_like_serial(self):
+        """Each row's generator must leave train_block in the same state
+        the serial path leaves it — downstream draws depend on it."""
+        arch, kwargs, xshape = ARCHS[0]
+        model, layout, params, states, xs, ys = make_training_block(
+            arch, kwargs, xshape, seed=3
+        )
+        trainer = LocalTrainer(model, TRAIN_CONFIG)
+        serial_rngs = [np.random.default_rng(70 + b) for b in range(4)]
+        for b, state in enumerate(states):
+            trainer.train(state, xs[b], ys[b], serial_rngs[b], session=0)
+        batched_rngs = [np.random.default_rng(70 + b) for b in range(4)]
+        BatchedTrainer(model, TRAIN_CONFIG, layout).train_block(
+            params, xs, ys, batched_rngs, [0] * 4
+        )
+        for serial_rng, batched_rng in zip(serial_rngs, batched_rngs):
+            assert serial_rng.random() == batched_rng.random()
+
+    def test_float32_block_trains_in_float32(self):
+        """Block dtype contract: a float32 block stays float32 and lands
+        within rounding of the float64 result."""
+        arch, kwargs, xshape = ARCHS[0]
+        model, layout, params, states, xs, ys = make_training_block(
+            arch, kwargs, xshape, seed=4
+        )
+        params32 = params.astype(np.float32)
+        batched = BatchedTrainer(model, TRAIN_CONFIG, layout)
+        batched.train_block(
+            params, xs, ys,
+            [np.random.default_rng(90 + b) for b in range(4)], [0] * 4,
+        )
+        out32 = batched.train_block(
+            params32, xs, ys,
+            [np.random.default_rng(90 + b) for b in range(4)], [0] * 4,
+        )
+        assert out32.dtype == np.float32
+        np.testing.assert_allclose(out32, params, rtol=2e-3, atol=2e-3)
+
+    def test_zero_epochs_and_empty_blocks_are_noops(self):
+        arch, kwargs, xshape = ARCHS[0]
+        model, layout, params, states, xs, ys = make_training_block(
+            arch, kwargs, xshape, seed=5
+        )
+        config = TrainerConfig(learning_rate=0.1, local_epochs=0, batch_size=4)
+        before = params.copy()
+        batched = BatchedTrainer(model, config, layout)
+        batched.train_block(
+            params, xs, ys, [np.random.default_rng(b) for b in range(4)],
+            [0] * 4,
+        )
+        np.testing.assert_array_equal(params, before)
+        empty = np.empty((0, layout.dim))
+        assert batched.train_block(empty, [], [], [], []) is empty
+
+    def test_rejects_ragged_blocks_and_dp(self):
+        arch, kwargs, xshape = ARCHS[0]
+        model, layout, params, states, xs, ys = make_training_block(
+            arch, kwargs, xshape, seed=6
+        )
+        batched = BatchedTrainer(model, TRAIN_CONFIG, layout)
+        rngs = [np.random.default_rng(b) for b in range(4)]
+        ragged = [x[: 3 + b] for b, x in enumerate(xs)]
+        with pytest.raises(ValueError, match="same number of samples"):
+            batched.train_block(params, ragged, ys, rngs, [0] * 4)
+        with pytest.raises(ValueError, match="one entry|per row|per block"):
+            batched.train_block(params, xs[:2], ys, rngs, [0] * 4)
+        from repro.privacy.dp import DPSGDConfig
+
+        dp_config = TrainerConfig(
+            learning_rate=0.1, batch_size=4,
+            dp=DPSGDConfig(clip_norm=1.0, noise_multiplier=0.1),
+        )
+        with pytest.raises(ValueError, match="DP-SGD"):
+            BatchedTrainer(model, dp_config, layout).train_block(
+                params, xs, ys, rngs, [0] * 4
+            )
 
 
 class TestSupportsBatchedForward:

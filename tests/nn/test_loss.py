@@ -98,3 +98,86 @@ class TestMSE:
     def test_rejects_shape_mismatch(self):
         with pytest.raises(ValueError):
             MSELoss()(np.zeros(2), np.zeros(3))
+
+
+class TestDtypePreservation:
+    """The float32 audit: loss internals must not promote to float64."""
+
+    def test_cross_entropy_backward_in_logits_dtype(self, rng):
+        loss = CrossEntropyLoss(label_smoothing=0.1)
+        logits = rng.normal(size=(4, 6)).astype(np.float32)
+        labels = np.array([0, 1, 2, 3])
+        value = loss.forward(logits, labels)
+        assert isinstance(value, float)
+        assert loss.backward().dtype == np.float32
+        # float64 logits keep the float64 path untouched.
+        loss.forward(logits.astype(np.float64), labels)
+        assert loss.backward().dtype == np.float64
+
+    def test_cross_entropy_f32_close_to_f64(self, rng):
+        loss = CrossEntropyLoss()
+        logits = rng.normal(size=(8, 5))
+        labels = rng.integers(0, 5, size=8)
+        loss.forward(logits, labels)
+        g64 = loss.backward()
+        loss.forward(logits.astype(np.float32), labels)
+        np.testing.assert_allclose(loss.backward(), g64, atol=1e-6)
+
+    def test_mse_preserves_float32(self, rng):
+        loss = MSELoss()
+        pred = rng.normal(size=(3, 2)).astype(np.float32)
+        target = rng.normal(size=(3, 2)).astype(np.float32)
+        loss.forward(pred, target)
+        assert loss.backward().dtype == np.float32
+
+    def test_mse_promotes_integer_inputs(self):
+        loss = MSELoss()
+        assert loss(np.array([1, 2]), np.array([0, 0])) == pytest.approx(2.5)
+        assert loss.backward().dtype == np.float64
+
+
+class TestBatchedCrossEntropyGrad:
+    """Blocked loss vs the scalar loss, row for row."""
+
+    def test_matches_scalar_loss_per_row(self, rng):
+        from repro.nn import batched_cross_entropy_grad
+
+        logits = rng.normal(size=(3, 5, 7))
+        labels = rng.integers(0, 7, size=(3, 5))
+        losses, grad = batched_cross_entropy_grad(
+            logits, labels, label_smoothing=0.2
+        )
+        scalar = CrossEntropyLoss(label_smoothing=0.2)
+        for b in range(3):
+            assert losses[b] == scalar.forward(logits[b], labels[b])
+            np.testing.assert_array_equal(grad[b], scalar.backward())
+
+    def test_block_dtype_and_loss_skip(self, rng):
+        from repro.nn import batched_cross_entropy_grad
+
+        logits = rng.normal(size=(2, 4, 3)).astype(np.float32)
+        labels = rng.integers(0, 3, size=(2, 4))
+        losses, grad = batched_cross_entropy_grad(
+            logits, labels, with_losses=False
+        )
+        assert losses is None
+        assert grad.dtype == np.float32
+
+    def test_validation(self):
+        from repro.nn import batched_cross_entropy_grad
+
+        with pytest.raises(ValueError, match="B, N, C"):
+            batched_cross_entropy_grad(np.zeros((2, 3)), np.zeros((2,)))
+        with pytest.raises(ValueError, match="labels"):
+            batched_cross_entropy_grad(
+                np.zeros((2, 3, 4)), np.zeros((3, 2), dtype=int)
+            )
+        with pytest.raises(ValueError, match="label_smoothing"):
+            batched_cross_entropy_grad(
+                np.zeros((2, 3, 4)), np.zeros((2, 3), dtype=int),
+                label_smoothing=1.0,
+            )
+        with pytest.raises(ValueError, match="range"):
+            batched_cross_entropy_grad(
+                np.zeros((1, 2, 3)), np.full((1, 2), 9)
+            )
