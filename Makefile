@@ -18,10 +18,12 @@ coverage:
 	$(PYTHON) -m coverage report -m --fail-under=85
 
 ## Full benchmark harness (REPRO_BENCH_SCALE=tiny|small|paper).
+## Refreshes BENCH_engine.json (per-executor engine throughput).
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q
 
-## Fast benchmark smoke: the engine-throughput acceptance checks.
+## Fast benchmark smoke: the engine-throughput acceptance checks
+## (also refreshes BENCH_engine.json).
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/test_engine_throughput.py -q
 

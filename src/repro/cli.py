@@ -43,12 +43,20 @@ def _add_study_parser(sub: argparse._SubParsersAction) -> None:
                    help="state engine: flat-buffer arena (default) or the "
                         "legacy dict-State path")
     p.add_argument("--executor", default="serial",
-                   choices=["serial", "process", "batched"],
+                   choices=["serial", "process", "batched", "sharded"],
                    help="local-update executor (flat engine only): serial "
-                        "workspace, process pool, or blocked multi-model "
-                        "training over the arena")
+                        "workspace, process pool, blocked multi-model "
+                        "training over the arena, or shard workers running "
+                        "the blocked kernels over a shared-memory arena")
     p.add_argument("--workers", type=int, default=0,
                    help="process-pool size; 0 = one per CPU (capped)")
+    p.add_argument("--shards", type=int, default=0,
+                   help="shard-worker count for the sharded executor; "
+                        "0 = one per CPU (capped at the node count)")
+    p.add_argument("--shard-partition", default="contiguous",
+                   choices=["contiguous", "balanced"],
+                   help="row-to-shard mapping: contiguous ranges, or "
+                        "balanced by per-node sample count")
     p.add_argument("--train-batch", type=int, default=0,
                    help="rows per blocked training op for the batched "
                         "executor (0 = all same-size wake tasks at once, "
@@ -79,6 +87,8 @@ def _run_study(args: argparse.Namespace) -> int:
         "engine": args.engine,
         "executor": args.executor,
         "n_workers": args.workers,
+        "n_shards": args.shards,
+        "shard_partition": args.shard_partition,
         "train_batch": args.train_batch,
         "arena_dtype": args.arena_dtype,
         "eval_batch": args.eval_batch,

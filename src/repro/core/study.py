@@ -78,8 +78,10 @@ class StudyConfig:
     delay_jitter: int = 0  # extra uniform latency in [0, jitter]
     # Execution engine (DESIGN.md "Flat-state execution engine").
     engine: str = "flat"  # "flat" (arena, default) or "dict" (legacy)
-    executor: str = "serial"  # "serial", "process" or "batched" (flat only)
+    executor: str = "serial"  # "serial"/"process"/"batched"/"sharded" (flat only)
     n_workers: int = 0  # process-pool size; 0 = one per CPU (capped)
+    n_shards: int = 0  # shard workers; 0 = one per CPU (capped at n_nodes)
+    shard_partition: str = "contiguous"  # row->shard map: contiguous/balanced
     train_batch: int = 0  # rows per blocked training op (0=all, -1=per-row)
     arena_dtype: str = "float64"  # flat-arena storage dtype
     # Local training (Table 2 columns).
@@ -193,6 +195,8 @@ class VulnerabilityStudy:
                 engine=cfg.engine,
                 executor=cfg.executor,
                 n_workers=cfg.n_workers,
+                n_shards=cfg.n_shards,
+                shard_partition=cfg.shard_partition,
                 train_batch=cfg.train_batch,
                 arena_dtype=cfg.arena_dtype,
                 seed=cfg.seed + 3,
@@ -294,6 +298,9 @@ class VulnerabilityStudy:
                 "n_nodes": self.config.n_nodes,
                 "engine": self.config.engine,
                 "executor": self.config.executor,
+                "n_workers": self.config.n_workers,
+                "n_shards": self.config.n_shards,
+                "shard_partition": self.config.shard_partition,
                 "train_batch": self.config.train_batch,
                 "eval_batch": self.config.eval_batch,
                 "messages_dropped": self.simulator.messages_dropped,

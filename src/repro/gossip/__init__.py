@@ -29,9 +29,12 @@ from repro.gossip.engine import (
     UpdateTask,
     make_simulator,
 )
+from repro.gossip.shard import RowPartitioner, ShardedExecutor
 
 __all__ = [
     "BatchedExecutor",
+    "RowPartitioner",
+    "ShardedExecutor",
     "BatchedTrainer",
     "Executor",
     "FlatGossipSimulator",

@@ -27,7 +27,7 @@ from __future__ import annotations
 import heapq
 import os
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -42,7 +42,7 @@ from repro.gossip.protocols import (
 from repro.gossip.simulator import GossipSimulator, SimulatorConfig
 from repro.gossip.trainer import BatchedTrainer, LocalTrainer, TrainerConfig
 from repro.nn.batched import supports_batched_backward
-from repro.nn.flat import StateLayout
+from repro.nn.flat import SharedArena, StateLayout
 from repro.nn.layers import Module
 from repro.nn.serialize import State, normalize_weights
 
@@ -69,6 +69,12 @@ class StateArena:
     out carry it. Aggregation primitives (:meth:`average_rows`,
     :meth:`merge_row`, :meth:`mix`) mutate or read rows in place —
     dict-``State`` views over rows stay live across all of them.
+
+    ``shared=True`` places ``data`` in a :class:`~repro.nn.flat.SharedArena`
+    (a named shared-memory segment) so shard worker processes can attach
+    to the same rows by name; :meth:`release` detaches, keeping a
+    private copy readable. Callers holding row views across a release
+    must rebuild them (the flat simulator rebinds its node views).
     """
 
     def __init__(
@@ -76,12 +82,36 @@ class StateArena:
         layout: StateLayout,
         n_nodes: int,
         dtype: np.dtype | str = np.float64,
+        shared: bool = False,
     ):
         if n_nodes <= 0:
             raise ValueError("n_nodes must be positive")
         self.layout = layout
         self.dtype = np.dtype(dtype)
-        self.data = np.zeros((n_nodes, layout.dim), dtype=self.dtype)
+        self._shared: SharedArena | None = None
+        if shared:
+            self._shared = SharedArena(n_nodes, layout.dim, dtype=self.dtype)
+            self.data = self._shared.data
+        else:
+            self.data = np.zeros((n_nodes, layout.dim), dtype=self.dtype)
+
+    @property
+    def shared_name(self) -> str | None:
+        """Segment name for worker attachment; None on private arenas."""
+        return self._shared.name if self._shared is not None else None
+
+    def release(self) -> None:
+        """Detach from the shared segment, keeping a private copy.
+
+        Idempotent; a no-op for private arenas. ``data`` stays readable
+        (and writable) afterwards, but existing row views still address
+        the dead segment — rebuild them.
+        """
+        if self._shared is None:
+            return
+        shared, self._shared = self._shared, None
+        self.data = np.array(shared.data)
+        shared.close()
 
     @property
     def n_nodes(self) -> int:
@@ -175,10 +205,28 @@ class UpdateTask:
             )
 
 
+# Node-id -> (train_x, train_y); executors index it by task.node_id.
+SplitArrays = Mapping[int, tuple[np.ndarray, np.ndarray]]
+
+
+def as_split_arrays(
+    splits: Sequence[NodeSplit] | SplitArrays,
+) -> SplitArrays | list[tuple[np.ndarray, np.ndarray]]:
+    """Training arrays addressable by node id.
+
+    Accepts either the engine's full ``NodeSplit`` list (node id ==
+    position) or a prebuilt mapping holding only some nodes' arrays —
+    shard workers ship just their own slice of the data.
+    """
+    if isinstance(splits, Mapping):
+        return splits
+    return [(s.train.x, s.train.y) for s in splits]
+
+
 def _train_task(
     trainer: LocalTrainer,
     layout: StateLayout,
-    splits: list[tuple[np.ndarray, np.ndarray]],
+    splits: SplitArrays,
     task: UpdateTask,
 ) -> tuple[np.ndarray, np.random.Generator]:
     """Run one local update on a workspace trainer; shared by executors."""
@@ -190,9 +238,17 @@ def _train_task(
 
 
 class Executor:
-    """Runs a batch of independent local updates, preserving order."""
+    """Runs a batch of independent local updates, preserving order.
+
+    ``close`` must be idempotent on every backend. Executors that read
+    task state straight from a shared arena set ``copies_task_vectors``
+    to False: the engine hands them live row views instead of per-task
+    row copies, and in exchange the executor must write result vectors
+    into the arena rows itself (the engine skips the copy-back).
+    """
 
     name = "abstract"
+    copies_task_vectors = True
 
     def train_batch(
         self, tasks: list[UpdateTask]
@@ -212,11 +268,11 @@ class SerialExecutor(Executor):
         self,
         trainer: LocalTrainer,
         layout: StateLayout,
-        splits: Sequence[NodeSplit],
+        splits: Sequence[NodeSplit] | SplitArrays,
     ):
         self.trainer = trainer
         self.layout = layout
-        self.splits = [(s.train.x, s.train.y) for s in splits]
+        self.splits = as_split_arrays(splits)
 
     def train_batch(
         self, tasks: list[UpdateTask]
@@ -249,14 +305,14 @@ class BatchedExecutor(Executor):
         self,
         trainer: LocalTrainer,
         layout: StateLayout,
-        splits: Sequence[NodeSplit],
+        splits: Sequence[NodeSplit] | SplitArrays,
         train_batch: int = 0,
     ):
         if train_batch < -1:
             raise ValueError("train_batch must be >= -1")
         self.trainer = trainer
         self.layout = layout
-        self.splits = [(s.train.x, s.train.y) for s in splits]
+        self.splits = as_split_arrays(splits)
         self.block_size = train_batch
         # Models without a batched backward (e.g. stochastic dropout)
         # run entirely on the per-row fallback; constructing the
@@ -376,10 +432,14 @@ class ProcessExecutor(Executor):
     def train_batch(
         self, tasks: list[UpdateTask]
     ) -> list[tuple[np.ndarray, np.random.Generator]]:
+        if self._pool is None:
+            raise RuntimeError("executor is closed")
         return list(self._pool.map(_worker_train, tasks))
 
     def close(self) -> None:
-        self._pool.shutdown()
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
 
 
 class FlatGossipSimulator(GossipSimulator):
@@ -421,8 +481,14 @@ class FlatGossipSimulator(GossipSimulator):
                 f"flat engine does not support protocol {protocol.name!r}"
             )
         self.layout = StateLayout.from_state(initial_state)
+        # The sharded executor's workers attach to the arena by name, so
+        # it must be born in shared memory — migrating it later would
+        # orphan every node-state view handed out below.
         self.arena = StateArena(
-            self.layout, config.n_nodes, dtype=config.arena_dtype
+            self.layout,
+            config.n_nodes,
+            dtype=config.arena_dtype,
+            shared=config.executor == "sharded",
         )
         # Pack the shared initial model once and broadcast it into all
         # rows; node states become live views over their row.
@@ -468,15 +534,37 @@ class FlatGossipSimulator(GossipSimulator):
                     splits,
                     train_batch=self.config.train_batch,
                 )
+            elif self.config.executor == "sharded":
+                # Imported here: shard.py builds on this module.
+                from repro.gossip.shard import ShardedExecutor
+
+                self._executor = ShardedExecutor(
+                    self.model_builder,
+                    trainer.config,
+                    self.layout,
+                    splits,
+                    self.arena,
+                    n_shards=self.config.n_shards,
+                    train_batch=self.config.train_batch,
+                    partition=self.config.shard_partition,
+                    trainer=trainer,
+                )
             else:
                 self._executor = SerialExecutor(trainer, self.layout, splits)
         return self._executor
 
     def close(self) -> None:
-        """Release executor resources (worker processes)."""
+        """Release executor resources (worker processes and shared
+        memory). Idempotent; arena data stays readable afterwards —
+        a shared-backed arena is copied private and node-state views
+        are rebound over the copy."""
         if self._executor is not None:
             self._executor.close()
             self._executor = None
+        if self.arena.shared_name is not None:
+            self.arena.release()
+            for node in self.nodes:
+                node.state = self.arena.state_view(node.node_id)
 
     def state_matrix(self, layout=None) -> np.ndarray:
         """The live arena, zero-copy (read-only by contract).
@@ -571,6 +659,10 @@ class FlatGossipSimulator(GossipSimulator):
         """Run the local updates of independent nodes as one batch."""
         if not node_ids:
             return
+        executor = self.executor()
+        # Shared-arena executors read rows straight from the segment;
+        # copying each row into its task would be pure waste there.
+        copy_rows = executor.copies_task_vectors
         cap = self.protocol.max_updates_per_node
         tasks: list[UpdateTask] = []
         for node_id in node_ids:
@@ -582,19 +674,24 @@ class FlatGossipSimulator(GossipSimulator):
                 continue  # the trainer no-ops; the session must not advance
             session = self._sessions[node_id]
             self._sessions[node_id] += 1
+            row = self.arena.row(node_id)
             tasks.append(
                 UpdateTask(
                     node_id,
-                    self.arena.row(node_id).copy(),
+                    row.copy() if copy_rows else row,
                     node.rng,
                     session,
                 )
             )
         if not tasks:
             return
-        results = self.executor().train_batch(tasks)
+        results = executor.train_batch(tasks)
         for task, (vector, rng) in zip(tasks, results):
-            self.arena.write_row(task.node_id, vector)
+            # In-place executors (copies_task_vectors=False) already
+            # wrote results into the arena rows; copying a row onto
+            # itself would waste O(dim) bandwidth per trained node.
+            if copy_rows:
+                self.arena.write_row(task.node_id, vector)
             # Process workers return a mutated generator copy; rebind it
             # so the node's stream advances exactly as it would serially.
             self.nodes[task.node_id].rng = rng

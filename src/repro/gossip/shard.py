@@ -1,0 +1,403 @@
+"""Sharded shared-memory execution subsystem.
+
+The batched executor (PR 3) trains a tick's wake tasks as lockstep
+``(B, dim)`` blocks, but all of it on one core; the process executor
+(PR 1) uses many cores, but pickles every task's state vector to a pool
+worker and copies the result back. This module combines the two: arena
+rows are partitioned across long-lived *shard workers*, each of which
+attaches to the engine's :class:`~repro.nn.flat.SharedArena` segment
+once, owns a workspace model plus its shard's data slices, and runs the
+PR 3 batched training kernels over its rows in place.
+
+Per tick, a shard receives only ``(row_index, session, rng_state)``
+triples — never a state vector. Workers read their rows straight out of
+the shared segment, train, and write results straight back; the only
+payload returned is each task's advanced generator state. That is the
+zero-copy contract: task traffic is O(tasks), not O(tasks * dim).
+
+Determinism: each task travels with its node's exact generator state
+and lr_decay session index, and every shard trains through the same
+:class:`~repro.gossip.engine.BatchedExecutor` logic (including its
+per-row fallback for DP-SGD, stochastic layers and empty splits), so a
+sharded run is bit-identical to :class:`~repro.gossip.engine.SerialExecutor`
+on a float64 arena for a fixed seed — the engine's phased ticks make
+results independent of which process trains which row.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.data.partition import NodeSplit
+from repro.gossip.engine import (
+    BatchedExecutor,
+    Executor,
+    SplitArrays,
+    StateArena,
+    UpdateTask,
+    as_split_arrays,
+)
+from repro.gossip.trainer import LocalTrainer, TrainerConfig
+from repro.nn.flat import SharedArena, StateLayout
+from repro.nn.layers import Module
+
+__all__ = ["RowPartitioner", "ShardedExecutor"]
+
+# Default cap mirrors ProcessExecutor's pool sizing.
+_MAX_AUTO_SHARDS = 8
+
+_TRAIN = "train"
+_STOP = "stop"
+
+
+class RowPartitioner:
+    """Maps arena row indices to shards.
+
+    Strategies:
+
+    * ``"contiguous"`` — equal-length contiguous row ranges (shard 0
+      gets the first rows, and so on). Predictable, cache-friendly.
+    * ``"balanced"`` — greedy longest-processing-time assignment by
+      per-row sample count: rows are placed largest-first onto the
+      currently lightest shard, equalizing training compute when node
+      splits are uneven (ties break toward fewer rows, then the lower
+      shard id, so the result is deterministic).
+
+    ``partition`` always returns exactly ``n_shards`` disjoint,
+    ascending index arrays covering ``range(n_rows)``; trailing shards
+    may be empty when ``n_shards > n_rows`` (the executor clamps its
+    worker count so it never spawns one for an empty shard).
+    """
+
+    strategies = ("contiguous", "balanced")
+
+    def __init__(self, strategy: str = "contiguous"):
+        if strategy not in self.strategies:
+            raise ValueError(
+                f"unknown partition strategy {strategy!r}; "
+                f"expected one of {self.strategies}"
+            )
+        self.strategy = strategy
+
+    def partition(
+        self,
+        n_rows: int,
+        n_shards: int,
+        sample_counts: Sequence[int] | None = None,
+    ) -> list[np.ndarray]:
+        if n_rows <= 0:
+            raise ValueError("n_rows must be positive")
+        if n_shards <= 0:
+            raise ValueError("n_shards must be positive")
+        if sample_counts is not None and len(sample_counts) != n_rows:
+            raise ValueError(
+                f"got {len(sample_counts)} sample counts for {n_rows} rows"
+            )
+        if self.strategy == "contiguous":
+            return [
+                np.asarray(chunk, dtype=np.intp)
+                for chunk in np.array_split(np.arange(n_rows), n_shards)
+            ]
+        counts = (
+            np.ones(n_rows)
+            if sample_counts is None
+            else np.asarray(sample_counts, dtype=np.float64)
+        )
+        order = sorted(range(n_rows), key=lambda row: (-counts[row], row))
+        loads = [0.0] * n_shards
+        sizes = [0] * n_shards
+        shards: list[list[int]] = [[] for _ in range(n_shards)]
+        for row in order:
+            target = min(
+                range(n_shards), key=lambda s: (loads[s], sizes[s], s)
+            )
+            shards[target].append(row)
+            loads[target] += counts[row]
+            sizes[target] += 1
+        return [np.asarray(sorted(rows), dtype=np.intp) for rows in shards]
+
+
+def _restore_generator(state: dict) -> np.random.Generator:
+    """Rebuild a Generator from a ``bit_generator.state`` dict."""
+    bit_generator = getattr(np.random, state["bit_generator"])()
+    bit_generator.state = state
+    return np.random.Generator(bit_generator)
+
+
+def encode_tasks(tasks: Sequence[UpdateTask]) -> list[tuple]:
+    """The exact per-task payload shipped to a shard worker.
+
+    Row index, lr_decay session, generator state — and nothing else.
+    State vectors never cross the pipe; they live in the shared arena
+    both ways. Kept as a standalone function so tests can assert the
+    no-pickle contract on the real payload.
+    """
+    return [
+        (task.node_id, task.session, task.rng.bit_generator.state)
+        for task in tasks
+    ]
+
+
+def _shard_worker(
+    conn,
+    segment: str,
+    n_rows: int,
+    dim: int,
+    dtype: np.dtype,
+    model_builder: Callable[[], Module],
+    trainer_config: TrainerConfig,
+    layout: StateLayout,
+    split_arrays: SplitArrays,
+    train_batch: int,
+) -> None:
+    """Long-lived shard worker loop.
+
+    Attaches to the shared arena once, builds its workspace trainer and
+    a :class:`BatchedExecutor` over its split slice once, then serves
+    ``("train", items)`` requests until told to stop: rebuild each
+    task's generator, train (blocked where possible, per-row fallback
+    otherwise), write result rows into the shared segment, and reply
+    with the advanced generator states.
+    """
+    arena = None
+    try:
+        arena = SharedArena.attach(segment, n_rows, dim, dtype)
+        trainer = LocalTrainer(model_builder(), trainer_config)
+        executor = BatchedExecutor(
+            trainer, layout, split_arrays, train_batch=train_batch
+        )
+        while True:
+            message = conn.recv()
+            if message[0] == _STOP:
+                break
+            _, items, new_config = message
+            if new_config is not None:
+                # The shared trainer's config was swapped after this
+                # worker spawned (DP install does that); mirror it —
+                # the internal BatchedExecutor re-reads trainer.config
+                # on every call, exactly like the single-process path.
+                trainer.config = new_config
+            tasks = [
+                UpdateTask(
+                    node_id,
+                    arena.data[node_id],
+                    _restore_generator(rng_state),
+                    session,
+                )
+                for node_id, session, rng_state in items
+            ]
+            results = executor.train_batch(tasks)
+            for task, (vector, _) in zip(tasks, results):
+                arena.data[task.node_id][...] = vector
+            conn.send(
+                (
+                    "ok",
+                    [
+                        (task.node_id, task.rng.bit_generator.state)
+                        for task in tasks
+                    ],
+                )
+            )
+    except EOFError:  # pragma: no cover - parent vanished mid-recv
+        pass
+    except BaseException:  # noqa: BLE001 - report, then die
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except OSError:  # pragma: no cover - pipe already gone
+            pass
+    finally:
+        if arena is not None:
+            arena.close()
+        conn.close()
+
+
+def _mp_context():
+    """Fork where available (fast, nothing needs pickling at spawn
+    time); spawn elsewhere — worker arguments stay picklable either
+    way."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+class ShardedExecutor(Executor):
+    """Arena rows partitioned across persistent shard-worker processes.
+
+    Construction spawns one worker per (non-empty) shard; each attaches
+    to the arena's shared-memory segment by name and keeps a workspace
+    model, so per-tick traffic is row indices and generator states
+    only. ``train_batch`` is forwarded to every shard's internal
+    :class:`BatchedExecutor`, whose grouping and per-row fallback rules
+    (DP-SGD, models without a batched backward, empty splits) apply
+    unchanged within each shard.
+
+    ``close`` is idempotent and must run eventually (the engine's
+    ``close``/context manager does); workers are daemons, so even an
+    abandoned executor cannot outlive its process.
+
+    When the engine passes its live ``trainer``, config swaps made
+    after construction (DP installation replaces the dataclass on the
+    shared trainer) are pushed to the involved shards alongside the
+    next batch, mirroring the batched executor's per-call config
+    re-read; without a trainer the construction-time config is final.
+    """
+
+    name = "sharded"
+    copies_task_vectors = False  # rows are read from the shared segment
+
+    def __init__(
+        self,
+        model_builder: Callable[[], Module] | None,
+        trainer_config: TrainerConfig,
+        layout: StateLayout,
+        splits: Sequence[NodeSplit] | SplitArrays,
+        arena: StateArena,
+        n_shards: int = 0,
+        train_batch: int = 0,
+        partition: str = "contiguous",
+        trainer: "LocalTrainer | None" = None,
+    ):
+        if model_builder is None:
+            raise ValueError(
+                "the sharded executor needs a picklable model_builder "
+                "(e.g. functools.partial(build_model, ...)) to construct "
+                "per-shard workspace models"
+            )
+        segment = getattr(arena, "shared_name", None)
+        if segment is None:
+            raise ValueError(
+                "the sharded executor needs a shared-memory arena "
+                "(StateArena(..., shared=True)); a private arena's rows "
+                "are invisible to shard workers"
+            )
+        split_arrays = as_split_arrays(splits)
+        n_rows = arena.n_nodes
+        requested = n_shards or min(
+            os.cpu_count() or 1, _MAX_AUTO_SHARDS
+        )
+        requested = max(1, min(requested, n_rows))
+        counts = [split_arrays[i][0].shape[0] for i in range(n_rows)]
+        self.partitioner = RowPartitioner(partition)
+        shard_rows = [
+            rows
+            for rows in self.partitioner.partition(
+                n_rows, requested, sample_counts=counts
+            )
+            if rows.size
+        ]
+        self.n_shards = len(shard_rows)
+        self.shard_rows = shard_rows
+        self._shard_of = np.empty(n_rows, dtype=np.intp)
+        for shard, rows in enumerate(shard_rows):
+            self._shard_of[rows] = shard
+        self._data = arena.data
+        self._closed = False
+        # When the engine hands us its live trainer, follow config
+        # swaps made after construction (the batched executor re-reads
+        # trainer.config per call; shards get the delta pushed).
+        self._trainer = trainer
+        self._shard_config: list[TrainerConfig] = []
+        self._conns = []
+        self._procs = []
+        ctx = _mp_context()
+        for rows in shard_rows:
+            parent_conn, child_conn = ctx.Pipe()
+            process = ctx.Process(
+                target=_shard_worker,
+                args=(
+                    child_conn,
+                    segment,
+                    n_rows,
+                    arena.dim,
+                    arena.dtype,
+                    model_builder,
+                    trainer_config,
+                    layout,
+                    {int(i): split_arrays[int(i)] for i in rows},
+                    train_batch,
+                ),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(process)
+            self._shard_config.append(trainer_config)
+
+    def train_batch(
+        self, tasks: list[UpdateTask]
+    ) -> list[tuple[np.ndarray, np.random.Generator]]:
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        by_shard: dict[int, list[int]] = {}
+        for i, task in enumerate(tasks):
+            by_shard.setdefault(int(self._shard_of[task.node_id]), []).append(i)
+        config = self._trainer.config if self._trainer is not None else None
+        # Fan out to every involved shard first; they train in
+        # parallel while we collect replies in the same order.
+        for shard, indices in by_shard.items():
+            push = None
+            if config is not None and config != self._shard_config[shard]:
+                self._shard_config[shard] = config
+                push = config
+            try:
+                self._conns[shard].send(
+                    (_TRAIN, encode_tasks([tasks[i] for i in indices]), push)
+                )
+            except (BrokenPipeError, OSError):
+                # The worker died — most likely after sending a
+                # diagnostic that is still buffered in the pipe; read
+                # it so the caller sees the real traceback instead of
+                # a bare broken pipe.
+                self._recv(shard)
+                raise RuntimeError(
+                    f"shard worker {shard} died without a diagnostic"
+                ) from None
+        results: list = [None] * len(tasks)
+        for shard, indices in by_shard.items():
+            for i, (node_id, rng_state) in zip(indices, self._recv(shard)):
+                task = tasks[i]
+                if task.node_id != node_id:
+                    raise RuntimeError(
+                        f"shard {shard} replied out of order "
+                        f"(row {node_id}, expected {task.node_id})"
+                    )
+                # Advance the node's own generator to where the worker
+                # left its copy — streams continue exactly as serially.
+                task.rng.bit_generator.state = rng_state
+                results[i] = (self._data[node_id], task.rng)
+        return results
+
+    def _recv(self, shard: int):
+        try:
+            tag, payload = self._conns[shard].recv()
+        except EOFError:
+            raise RuntimeError(
+                f"shard worker {shard} died unexpectedly"
+            ) from None
+        if tag != "ok":
+            raise RuntimeError(f"shard worker {shard} failed:\n{payload}")
+        return payload
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send((_STOP,))
+            except (BrokenPipeError, OSError):
+                pass
+        for conn in self._conns:
+            conn.close()
+        for process in self._procs:
+            process.join(timeout=10)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=10)

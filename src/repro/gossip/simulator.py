@@ -56,17 +56,26 @@ class SimulatorConfig:
       makes serial and parallel execution bit-identical; the dict
       engine interleaves delivery with the wake loop. The two engines
       are statistically equivalent but not bitwise comparable.
-    * ``executor`` — "serial", "process" or "batched"; the flat engine
-      can run the local updates of independently waking nodes in a
-      process pool, or train them in lockstep as one ``(B, dim)``
-      block ("batched" — DP-SGD and models without a batched backward
-      fall back per row). Ignored by the dict engine.
+    * ``executor`` — "serial", "process", "batched" or "sharded"; the
+      flat engine can run the local updates of independently waking
+      nodes in a process pool, train them in lockstep as one
+      ``(B, dim)`` block ("batched" — DP-SGD and models without a
+      batched backward fall back per row), or partition arena rows
+      across long-lived shard workers that each run the batched
+      kernels over a zero-copy shared-memory arena ("sharded").
+      Ignored by the dict engine.
     * ``n_workers`` — process-pool size (0 = one per CPU, capped).
+    * ``n_shards`` — shard-worker count for the sharded executor
+      (0 = one per CPU, capped; always clamped to ``n_nodes``).
+    * ``shard_partition`` — how arena rows map to shards:
+      "contiguous" row ranges, or "balanced" greedy assignment by
+      per-node sample count (equalizes shard compute when splits are
+      uneven).
     * ``train_batch`` — rows per blocked training op for the batched
-      executor: 0 = one block per same-size group of a tick's wake
-      tasks, N > 0 = blocks of at most N rows (bounds peak activation
-      memory for conv models), -1 = force the per-row path. Ignored by
-      the other executors.
+      executor (and for each shard of the sharded one): 0 = one block
+      per same-size group of a tick's wake tasks, N > 0 = blocks of at
+      most N rows (bounds peak activation memory for conv models),
+      -1 = force the per-row path. Ignored by the other executors.
     * ``arena_dtype`` — storage dtype of the flat arena; evaluation
       *and* batched-executor training math stay in this dtype (no
       float64 promotion).
@@ -86,6 +95,8 @@ class SimulatorConfig:
     engine: str = "flat"
     executor: str = "serial"
     n_workers: int = 0
+    n_shards: int = 0
+    shard_partition: str = "contiguous"
     train_batch: int = 0
     arena_dtype: str = "float64"
     seed: int = 0
@@ -103,12 +114,19 @@ class SimulatorConfig:
             raise ValueError("delays must be non-negative")
         if self.engine not in ("dict", "flat"):
             raise ValueError("engine must be 'dict' or 'flat'")
-        if self.executor not in ("serial", "process", "batched"):
+        if self.executor not in ("serial", "process", "batched", "sharded"):
             raise ValueError(
-                "executor must be 'serial', 'process' or 'batched'"
+                "executor must be 'serial', 'process', 'batched' "
+                "or 'sharded'"
             )
         if self.n_workers < 0:
             raise ValueError("n_workers must be non-negative")
+        if self.n_shards < 0:
+            raise ValueError("n_shards must be non-negative")
+        if self.shard_partition not in ("contiguous", "balanced"):
+            raise ValueError(
+                "shard_partition must be 'contiguous' or 'balanced'"
+            )
         if self.train_batch < -1:
             raise ValueError("train_batch must be >= -1")
         if self.arena_dtype not in ("float32", "float64"):
@@ -275,8 +293,18 @@ class GossipSimulator:
         self._deliver_due()
 
     def close(self) -> None:
-        """Release engine resources. No-op for the dict engine; the
-        flat engine's process executor overrides this."""
+        """Release engine resources (idempotent). No-op for the dict
+        engine; the flat engine overrides it to shut down executor
+        workers and shared-memory segments."""
+
+    def __enter__(self) -> "GossipSimulator":
+        """Context-manager support: ``with make_simulator(...) as sim:``
+        guarantees :meth:`close` runs — pools and shared-memory
+        segments are released even when a run raises mid-round."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- introspection ----------------------------------------------------
 

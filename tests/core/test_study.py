@@ -68,6 +68,31 @@ class TestRunStudy:
         assert result.metadata["dataset"] == "purchase100"
         assert result.metadata["protocol"] == "samo"
 
+    def test_metadata_records_execution_knobs(self):
+        """Worker/shard sizing is part of the run's provenance: the
+        metadata dict carries it alongside engine/executor."""
+        result = run_study(
+            tiny_config(
+                executor="sharded", n_shards=2, shard_partition="balanced"
+            )
+        )
+        assert result.metadata["engine"] == "flat"
+        assert result.metadata["executor"] == "sharded"
+        assert result.metadata["n_workers"] == 0
+        assert result.metadata["n_shards"] == 2
+        assert result.metadata["shard_partition"] == "balanced"
+
+    def test_sharded_study_matches_serial_bitwise(self):
+        """The executor contract holds through the full study pipeline
+        (float64 default arena): metrics agree bit for bit."""
+        serial = run_study(tiny_config(seed=3))
+        sharded = run_study(
+            tiny_config(seed=3, executor="sharded", n_shards=2)
+        )
+        for s_round, p_round in zip(serial.rounds, sharded.rounds):
+            assert s_round.global_test_accuracy == p_round.global_test_accuracy
+            assert s_round.mia_accuracy == p_round.mia_accuracy
+
     def test_deterministic_given_seed(self):
         a = run_study(tiny_config(seed=5))
         b = run_study(tiny_config(seed=5))

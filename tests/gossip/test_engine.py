@@ -151,6 +151,16 @@ class TestMakeSimulator:
             SimulatorConfig(n_nodes=4, view_size=2, executor="thread")
         with pytest.raises(ValueError):
             SimulatorConfig(n_nodes=4, view_size=2, arena_dtype="float16")
+        with pytest.raises(ValueError):
+            SimulatorConfig(n_nodes=4, view_size=2, n_shards=-1)
+        with pytest.raises(ValueError):
+            SimulatorConfig(n_nodes=4, view_size=2, shard_partition="rr")
+        # The sharded executor and its knobs are accepted.
+        config = SimulatorConfig(
+            n_nodes=4, view_size=2, executor="sharded", n_shards=2,
+            shard_partition="balanced",
+        )
+        assert config.executor == "sharded"
 
 
 class TestFlatSimulator:
@@ -280,8 +290,15 @@ class TestExecutorContract:
             ("batched", dict()),
             ("batched", dict(train_batch=2)),  # chunked blocks
             ("batched", dict(train_batch=-1)),  # forced per-row path
+            ("sharded", dict(n_shards=2)),
+            ("sharded", dict(n_shards=2, shard_partition="balanced")),
+            ("sharded", dict(n_shards=1)),  # degenerate single shard
+            ("sharded", dict(n_shards=2, train_batch=-1)),  # per-row shards
         ],
-        ids=["process", "batched", "batched-chunk2", "batched-per-row"],
+        ids=[
+            "process", "batched", "batched-chunk2", "batched-per-row",
+            "sharded", "sharded-balanced", "sharded-one", "sharded-per-row",
+        ],
     )
     @pytest.mark.parametrize("protocol_name", ["samo", "base_gossip"])
     def test_run_bit_identical_to_serial(self, protocol_name, executor, kwargs):
@@ -345,19 +362,65 @@ class TestExecutorContract:
             np.testing.assert_array_equal(serial_vec, other_vec)
             assert serial_rng.random() == other_rng.random()
 
-    def test_float32_arena_runs_match_serial(self):
+    @pytest.mark.parametrize(
+        "executor,kwargs",
+        [("batched", dict()), ("sharded", dict(n_shards=2))],
+        ids=["batched", "sharded"],
+    )
+    def test_float32_arena_runs_match_serial(self, executor, kwargs):
         """On a float32 arena the blocked path trains in float32 like
         the (audited) serial path — results still agree."""
         serial = build_flat(arena_dtype="float32", seed=9)
         serial.run(2)
         serial.close()
-        batched = build_flat(arena_dtype="float32", executor="batched", seed=9)
-        batched.run(2)
-        batched.close()
-        assert batched.arena.data.dtype == np.float32
-        np.testing.assert_allclose(
-            serial.arena.data, batched.arena.data, rtol=1e-4, atol=1e-5
+        other = build_flat(
+            arena_dtype="float32", executor=executor, seed=9, **kwargs
         )
+        other.run(2)
+        other.close()
+        assert other.arena.data.dtype == np.float32
+        np.testing.assert_allclose(
+            serial.arena.data, other.arena.data, rtol=1e-4, atol=1e-5
+        )
+
+    def test_sharded_executor_falls_back_per_row_for_dp(self):
+        """DP-SGD inside a shard rides the same per-row fallback as the
+        batched executor — bit-identical noise draws vs serial."""
+        from repro.privacy.dp import DPSGDConfig
+
+        dp = DPSGDConfig(clip_norm=1.0, noise_multiplier=0.3)
+        serial = build_flat(dp=dp, seed=7)
+        serial.run(2)
+        serial.close()
+        sharded = build_flat(dp=dp, executor="sharded", n_shards=2, seed=7)
+        sharded.run(2)
+        sharded.close()
+        assert np.array_equal(serial.arena.data, sharded.arena.data)
+
+    def test_sharded_executor_requires_model_builder(self):
+        model = MODEL_BUILDER(rng=np.random.default_rng(0))
+        trainer = LocalTrainer(
+            model,
+            TrainerConfig(learning_rate=0.05, local_epochs=1, batch_size=8),
+        )
+        train, _ = make_synthetic_tabular_dataset(
+            "t", 100, 20, num_features=16, num_classes=4, seed=0
+        )
+        splits = make_node_splits(
+            train, 4, train_per_node=8, test_per_node=4, seed=0
+        )
+        config = SimulatorConfig(
+            n_nodes=4, view_size=2, engine="flat", executor="sharded",
+            wake_mu=5, wake_sigma=1, seed=0,
+        )
+        sim = make_simulator(
+            config, make_protocol("samo", trainer), splits, get_state(model)
+        )
+        try:
+            with pytest.raises(ValueError, match="model_builder"):
+                sim.run(1)
+        finally:
+            sim.close()
 
     def test_batched_executor_falls_back_per_row_for_dp(self):
         """DP-SGD has no blocked path: the batched executor must route
@@ -438,6 +501,56 @@ class TestExecutorContract:
         )
         with pytest.raises(ValueError, match="model_builder"):
             sim.run(1)
+
+
+class TestSimulatorLifecycle:
+    """Idempotent close and context-manager support (satellite of the
+    sharding PR): pools and segments are released exactly once, even
+    when a run raises."""
+
+    def test_close_is_idempotent(self):
+        sim = build_flat()
+        sim.run(1)
+        sim.close()
+        sim.close()
+
+    def test_context_manager_closes_on_success(self):
+        with build_flat() as sim:
+            sim.run(1)
+            assert sim._executor is not None
+        assert sim._executor is None
+
+    def test_context_manager_closes_on_exception(self):
+        with pytest.raises(RuntimeError, match="mid-run"):
+            with build_flat() as sim:
+                sim.run(1)
+                assert sim._executor is not None
+                raise RuntimeError("mid-run")
+        assert sim._executor is None
+
+    def test_dict_engine_context_manager_is_noop(self):
+        with build_flat(engine="dict") as sim:
+            sim.run(1)
+        assert sim.messages_sent > 0
+
+    def test_process_executor_close_idempotent_and_final(self):
+        sim = build_flat(executor="process", n_workers=2)
+        sim.run(1)
+        executor = sim.executor()
+        sim.close()
+        executor.close()  # second close: no-op
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.train_batch([])
+
+    def test_sharded_executor_registered(self):
+        from repro.gossip import ShardedExecutor
+
+        with build_flat(executor="sharded", n_shards=2) as sim:
+            sim.run(1)
+            executor = sim.executor()
+            assert isinstance(executor, ShardedExecutor)
+            assert executor.name == "sharded"
+            assert executor.n_shards == 2
 
 
 class TestMessageLogPayloads:

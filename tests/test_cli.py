@@ -67,6 +67,21 @@ class TestStudy:
         assert payload["metadata"]["engine"] == "flat"
         assert payload["metadata"]["executor"] == "serial"
 
+    def test_sharded_executor_flags(self, tmp_path):
+        out_json = tmp_path / "run.json"
+        code = main([
+            "study", "--rounds", "1", "--nodes", "6",
+            "--executor", "sharded", "--shards", "2",
+            "--shard-partition", "balanced",
+            "--out", str(out_json),
+        ])
+        assert code == 0
+        payload = json.loads(out_json.read_text())
+        assert payload["metadata"]["executor"] == "sharded"
+        assert payload["metadata"]["n_shards"] == 2
+        assert payload["metadata"]["shard_partition"] == "balanced"
+        assert payload["metadata"]["n_workers"] == 0
+
     def test_rejects_unknown_dataset(self):
         with pytest.raises(SystemExit):
             main(["study", "--dataset", "imagenet"])
