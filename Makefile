@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke lint docs-check coverage
+.PHONY: test bench bench-smoke lint docs-check coverage examples
 
 ## Tier-1 suite: unit + integration tests and benchmarks.
 test:
@@ -22,10 +22,15 @@ coverage:
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q
 
-## Fast benchmark smoke: the engine-throughput acceptance checks
-## (also refreshes BENCH_engine.json).
+## Fast benchmark smoke: the engine-throughput + campaign acceptance
+## checks (also refreshes BENCH_engine.json).
 bench-smoke:
-	$(PYTHON) -m pytest benchmarks/test_engine_throughput.py -q
+	$(PYTHON) -m pytest benchmarks/test_engine_throughput.py \
+		benchmarks/test_campaign_throughput.py -q
+
+## Smoke-run every script in examples/ at tiny scale.
+examples:
+	$(PYTHON) tools/run_examples.py
 
 ## Static checks: byte-compile everything (no third-party linter needed).
 lint:

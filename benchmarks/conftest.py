@@ -16,9 +16,39 @@ result — who wins, in which direction — not absolute numbers.
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import pytest
+
+# BENCH_engine.json layout version. Version 2: top-level
+# ``schema_version`` stamp, sections merged incrementally by whichever
+# benchmark modules ran (engine throughput, campaign throughput).
+BENCH_SCHEMA_VERSION = 2
+
+_BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def update_bench_json(sections: dict) -> None:
+    """Merge measured sections into BENCH_engine.json.
+
+    Merging (instead of overwriting) lets each benchmark module own its
+    sections and still produce one machine-readable file whether `make
+    bench`, `make bench-smoke` or a single module ran.
+    """
+    data: dict = {}
+    if _BENCH_PATH.exists():
+        try:
+            data = json.loads(_BENCH_PATH.read_text())
+        except ValueError:
+            data = {}
+    data.pop("schema", None)  # pre-versioning key from schema 1
+    data.update(sections)
+    data["schema_version"] = BENCH_SCHEMA_VERSION
+    data["unit"] = "ms"
+    data["cpus"] = os.cpu_count()
+    _BENCH_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
 def bench_scale() -> str:

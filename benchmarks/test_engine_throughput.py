@@ -30,11 +30,9 @@ perf trajectory stays machine-readable across PRs (``make bench`` /
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from functools import partial
-from pathlib import Path
 
 import numpy as np
 import pytest
@@ -56,15 +54,15 @@ from repro.nn.models import build_model
 from repro.nn.serialize import average_states
 from repro.privacy.mia import mia_reports_batched
 
-from benchmarks.conftest import print_series, run_once
+from benchmarks.conftest import print_series, run_once, update_bench_json
 
 N_NODES = 64
 N_NODES_SHARDED = 128
 NEIGHBORS = 4  # models averaged per node: own + 4 received
 
-# Wall clocks recorded by the tests below, flushed to BENCH_engine.json
+# Wall clocks recorded by the tests below, merged into BENCH_engine.json
 # by the module fixture. Keys: section -> f"n{nodes}" -> measurements.
-_BENCH: dict = {"schema": 1, "unit": "ms", "cpus": os.cpu_count()}
+_BENCH: dict = {}
 
 
 def _record(section: str, n_nodes: int, **values: float) -> None:
@@ -73,10 +71,9 @@ def _record(section: str, n_nodes: int, **values: float) -> None:
 
 @pytest.fixture(scope="module", autouse=True)
 def _emit_bench_json():
-    """Write whatever this module measured, even on partial runs."""
+    """Merge whatever this module measured, even on partial runs."""
     yield
-    path = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
-    path.write_text(json.dumps(_BENCH, indent=2, sort_keys=True) + "\n")
+    update_bench_json(_BENCH)
 
 
 def _best_of(fn, reps: int = 9) -> float:

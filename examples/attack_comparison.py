@@ -9,9 +9,13 @@ informative worst-case privacy probe (Section 2.5).
 Run:  python examples/attack_comparison.py
 """
 
+import os
+
 import numpy as np
 
 from repro.core import StudyConfig, VulnerabilityStudy
+
+SMOKE = os.environ.get("REPRO_EXAMPLES_SCALE") == "smoke"
 from repro.metrics.evaluation import predict_proba
 from repro.nn.serialize import set_state
 from repro.privacy import ATTACKS, run_attack
@@ -28,11 +32,11 @@ def main() -> None:
             n_nodes=8,
             view_size=2,
             protocol="samo",
-            rounds=6,
+            rounds=2 if SMOKE else 6,
             train_per_node=40,
             test_per_node=20,
             mlp_hidden=(64, 32),
-            local_epochs=3,
+            local_epochs=1 if SMOKE else 3,
             batch_size=16,
             seed=0,
         )

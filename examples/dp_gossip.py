@@ -9,11 +9,15 @@ dynamics let you relax the local DP budget.
 Run:  python examples/dp_gossip.py
 """
 
+import os
+
 from repro.experiments import run_many, scaled_config
+
+SMOKE = os.environ.get("REPRO_EXAMPLES_SCALE") == "smoke"
 
 
 def main() -> None:
-    budgets = (50.0, 10.0, None)  # None = non-private baseline
+    budgets = (10.0, None) if SMOKE else (50.0, 10.0, None)  # None = non-private
     configs = [
         scaled_config(
             "purchase100",
@@ -24,7 +28,7 @@ def main() -> None:
             view_size=2,
             dynamic=dynamic,
             dp_epsilon=eps,
-            rounds=5,
+            rounds=2 if SMOKE else 5,
             seed=3,
         )
         for eps in budgets

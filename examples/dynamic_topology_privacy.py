@@ -7,7 +7,11 @@ privacy/utility trade-off — and what each costs in messages.
 Run:  python examples/dynamic_topology_privacy.py
 """
 
+import os
+
 from repro.experiments import run_many, scaled_config
+
+SMOKE = os.environ.get("REPRO_EXAMPLES_SCALE") == "smoke"
 
 
 def main() -> None:
@@ -15,12 +19,12 @@ def main() -> None:
     configs = [
         scaled_config(
             "fashion_mnist",
-            scale="small",
+            scale="tiny" if SMOKE else "small",
             name=f"{'dynamic' if dynamic else 'static'}-k{k}",
             protocol="samo",
             view_size=k,
             dynamic=dynamic,
-            rounds=8,
+            rounds=2 if SMOKE else 8,
             seed=2,
         )
         for k in view_sizes

@@ -8,17 +8,21 @@ that the spectral prediction translates into actual value mixing.
 Run:  python examples/mixing_analysis.py
 """
 
+import os
+
 import numpy as np
 
 from repro.graph import simulate_consensus, simulate_lambda2_decay
 
+SMOKE = os.environ.get("REPRO_EXAMPLES_SCALE") == "smoke"
+
 
 def main() -> None:
-    n, iterations, runs = 150, 60, 10
+    n, iterations, runs = (60, 20, 3) if SMOKE else (150, 60, 10)
     print(f"lambda2(W*) after {iterations} iterations, n={n}, {runs} runs\n")
     print(f"{'k':>3} {'static':>12} {'dynamic':>12} {'speedup':>12}")
     rng = np.random.default_rng(0)
-    for k in (2, 5, 10, 25):
+    for k in (2, 5) if SMOKE else (2, 5, 10, 25):
         static = simulate_lambda2_decay(
             n, k, iterations, dynamic=False, runs=runs, rng=rng
         )
@@ -29,10 +33,11 @@ def main() -> None:
         speedup = s / max(d, 1e-300)
         print(f"{k:>3} {s:>12.3e} {d:>12.3e} {speedup:>12.1e}")
 
-    print("\nConsensus distance over 40 iterations (k=2):")
-    static_dist = simulate_consensus(n, 2, 40, dynamic=False, rng=rng)
-    dynamic_dist = simulate_consensus(n, 2, 40, dynamic=True, rng=rng)
-    for t in (0, 9, 19, 39):
+    horizon = 10 if SMOKE else 40
+    print(f"\nConsensus distance over {horizon} iterations (k=2):")
+    static_dist = simulate_consensus(n, 2, horizon, dynamic=False, rng=rng)
+    dynamic_dist = simulate_consensus(n, 2, horizon, dynamic=True, rng=rng)
+    for t in (0, 4, 9) if SMOKE else (0, 9, 19, 39):
         print(
             f"  iter {t + 1:>3}: static={static_dist[t]:.3e} "
             f"dynamic={dynamic_dist[t]:.3e}"

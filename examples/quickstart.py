@@ -5,10 +5,20 @@ nodes on Purchase100-like synthetic data, while an omniscient observer
 runs the Modified Prediction Entropy attack against every node's model
 each round.
 
+Uses the streaming session API: ``Study`` builds the pipeline once,
+``iter_rounds()`` yields each round's record as it is produced (so you
+watch metrics live instead of waiting for the whole run), and the
+context manager guarantees cleanup. ``run_study(config)`` remains the
+one-call equivalent.
+
 Run:  python examples/quickstart.py
 """
 
-from repro import StudyConfig, run_study
+import os
+
+from repro import Study, StudyConfig
+
+SMOKE = os.environ.get("REPRO_EXAMPLES_SCALE") == "smoke"
 
 
 def main() -> None:
@@ -22,7 +32,7 @@ def main() -> None:
         view_size=2,
         dynamic=False,          # flip to True for a PeerSwap topology
         protocol="samo",        # or "base_gossip"
-        rounds=6,
+        rounds=2 if SMOKE else 6,
         train_per_node=48,
         test_per_node=24,
         mlp_hidden=(64, 32),
@@ -30,16 +40,18 @@ def main() -> None:
         batch_size=16,
         seed=0,
     )
-    result = run_study(config)
 
     print(f"{'round':>5} {'test_acc':>9} {'mia_acc':>8} {'tpr@1%':>7} "
           f"{'gen_err':>8} {'messages':>9}")
-    for r in result.rounds:
-        print(
-            f"{r.round_index:>5} {r.global_test_accuracy:>9.3f} "
-            f"{r.mia_accuracy:>8.3f} {r.mia_tpr_at_1_fpr:>7.3f} "
-            f"{r.generalization_error:>8.3f} {r.messages_sent:>9}"
-        )
+    with Study(config) as study:
+        for r in study.iter_rounds():  # streams as rounds complete
+            print(
+                f"{r.round_index:>5} {r.global_test_accuracy:>9.3f} "
+                f"{r.mia_accuracy:>8.3f} {r.mia_tpr_at_1_fpr:>7.3f} "
+                f"{r.generalization_error:>8.3f} {r.messages_sent:>9}"
+            )
+        result = study.result()
+
     print(
         f"\nsummary: max test accuracy {result.max_test_accuracy:.3f}, "
         f"max MIA accuracy {result.max_mia_accuracy:.3f} "

@@ -9,7 +9,11 @@ exchanges still leak membership.
 Run:  python examples/robust_gossip.py
 """
 
+import os
+
 from repro.experiments import run_many, scaled_config
+
+SMOKE = os.environ.get("REPRO_EXAMPLES_SCALE") == "smoke"
 
 
 def main() -> None:
@@ -27,7 +31,7 @@ def main() -> None:
             name=name,
             protocol="samo",
             view_size=2,
-            rounds=5,
+            rounds=2 if SMOKE else 5,
             seed=0,
             **knobs,
         )

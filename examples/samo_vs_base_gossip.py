@@ -9,18 +9,22 @@ models — the paper's proposed mixing improvement.
 Run:  python examples/samo_vs_base_gossip.py
 """
 
+import os
+
 from repro.experiments import run_many, scaled_config
+
+SMOKE = os.environ.get("REPRO_EXAMPLES_SCALE") == "smoke"
 
 
 def main() -> None:
     configs = [
         scaled_config(
             "purchase100",
-            scale="small",
+            scale="tiny" if SMOKE else "small",
             name=protocol,
             protocol=protocol,
             view_size=5,
-            rounds=8,
+            rounds=2 if SMOKE else 8,
             seed=1,
         )
         for protocol in ("base_gossip", "samo")

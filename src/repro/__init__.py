@@ -5,13 +5,40 @@ Mixing" (Touat et al., MIDDLEWARE 2025).
 Public entry points:
 
 * :func:`repro.core.run_study` / :class:`repro.core.StudyConfig` —
-  run a full gossip-learning + MIA study.
+  run a full gossip-learning + MIA study in one call.
+* :class:`repro.core.Study` — the session API: build once, stream
+  rounds, checkpoint/resume, clean up via context manager.
+* Grouped configs (:class:`repro.core.DataConfig` & friends) —
+  composable slices of a ``StudyConfig``.
+* :class:`repro.experiments.Campaign` — sweep builders + parallel
+  execution over many studies.
 * :mod:`repro.graph.mixing` — the Section 4 spectral analysis.
 * :mod:`repro.experiments` — per-figure/table regeneration.
 """
 
-from repro.core import StudyConfig, VulnerabilityStudy, run_study
+from repro.core import (
+    DataConfig,
+    ExecutionConfig,
+    ModelConfig,
+    PrivacyConfig,
+    Study,
+    StudyConfig,
+    TopologyConfig,
+    VulnerabilityStudy,
+    run_study,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["StudyConfig", "VulnerabilityStudy", "run_study", "__version__"]
+__all__ = [
+    "DataConfig",
+    "ModelConfig",
+    "TopologyConfig",
+    "ExecutionConfig",
+    "PrivacyConfig",
+    "Study",
+    "StudyConfig",
+    "VulnerabilityStudy",
+    "run_study",
+    "__version__",
+]

@@ -1,15 +1,23 @@
 """Command-line interface.
 
-Three subcommands::
+Four subcommands::
 
     python -m repro.cli study --dataset purchase100 --protocol samo \
         --nodes 8 --rounds 5 --dynamic --out run.json
+    python -m repro.cli study --resume run.ckpt --out run.json
+    python -m repro.cli campaign --dataset purchase100 --scale tiny \
+        --grid seed=0,1,2 --grid protocol=samo,base_gossip \
+        --out-dir runs/ --jobs 0
     python -m repro.cli figure --id 3 --scale tiny
     python -m repro.cli tables
 
-``study`` runs one configured experiment and optionally writes
-JSON/CSV; ``figure`` regenerates one paper figure's data series;
-``tables`` prints Tables 1 and 2.
+``study`` runs one experiment as a streaming session (rows print as
+rounds complete) and optionally writes JSON/CSV; ``--checkpoint``
+snapshots the session every round and ``--resume`` continues a
+checkpointed run bit-identically. ``campaign`` sweeps a grid of
+configs over a process pool with per-study result files (re-running
+with the same ``--out-dir`` resumes). ``figure`` regenerates one paper
+figure's data series; ``tables`` prints Tables 1 and 2.
 """
 
 from __future__ import annotations
@@ -68,56 +76,161 @@ def _add_study_parser(sub: argparse._SubParsersAction) -> None:
                    help="node models per blocked evaluation op "
                         "(0 = all at once, -1 = legacy per-node loop)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="snapshot the session here after every round "
+                        "(resumable with --resume)")
+    p.add_argument("--resume", default=None, metavar="PATH",
+                   help="continue a checkpointed study (its stored "
+                        "config wins; other config flags are ignored)")
     p.add_argument("--out", default=None, help="write RunResult JSON here")
     p.add_argument("--csv", default=None, help="write per-round CSV here")
 
 
-def _run_study(args: argparse.Namespace) -> int:
-    from repro.experiments import result_to_csv, save_result, scaled_config
-    from repro.experiments.runner import run_experiment
+def _print_round(r) -> None:
+    print(
+        f"{r.round_index:>5} {r.global_test_accuracy:>9.3f} "
+        f"{r.mia_accuracy:>8.3f} {r.mia_tpr_at_1_fpr:>7.3f} "
+        f"{r.generalization_error:>8.3f}"
+    )
 
-    overrides: dict = {
-        "protocol": args.protocol,
-        "dynamic": args.dynamic,
-        "beta": args.beta,
-        "dp_epsilon": args.dp_epsilon,
-        "n_canaries": args.canaries,
-        "drop_prob": args.drop_prob,
-        "failure_prob": args.failure_prob,
-        "engine": args.engine,
-        "executor": args.executor,
-        "n_workers": args.workers,
-        "n_shards": args.shards,
-        "shard_partition": args.shard_partition,
-        "train_batch": args.train_batch,
-        "arena_dtype": args.arena_dtype,
-        "eval_batch": args.eval_batch,
-        "seed": args.seed,
-        "name": f"cli-{args.dataset}",
-    }
-    if args.sampler is not None:
-        overrides["sampler"] = args.sampler
-    if args.nodes is not None:
-        overrides["n_nodes"] = args.nodes
-    if args.view_size is not None:
-        overrides["view_size"] = args.view_size
-    if args.rounds is not None:
-        overrides["rounds"] = args.rounds
-    config = scaled_config(args.dataset, args.scale, **overrides)
-    result = run_experiment(config)
+
+def _run_study(args: argparse.Namespace) -> int:
+    from repro.core.study import Study
+    from repro.experiments import result_to_csv, save_result, scaled_config
+
+    if args.resume:
+        study = Study.resume(args.resume)
+    else:
+        overrides: dict = {
+            "protocol": args.protocol,
+            "dynamic": args.dynamic,
+            "beta": args.beta,
+            "dp_epsilon": args.dp_epsilon,
+            "n_canaries": args.canaries,
+            "drop_prob": args.drop_prob,
+            "failure_prob": args.failure_prob,
+            "engine": args.engine,
+            "executor": args.executor,
+            "n_workers": args.workers,
+            "n_shards": args.shards,
+            "shard_partition": args.shard_partition,
+            "train_batch": args.train_batch,
+            "arena_dtype": args.arena_dtype,
+            "eval_batch": args.eval_batch,
+            "seed": args.seed,
+            "name": f"cli-{args.dataset}",
+        }
+        if args.sampler is not None:
+            overrides["sampler"] = args.sampler
+        if args.nodes is not None:
+            overrides["n_nodes"] = args.nodes
+        if args.view_size is not None:
+            overrides["view_size"] = args.view_size
+        if args.rounds is not None:
+            overrides["rounds"] = args.rounds
+        study = Study(scaled_config(args.dataset, args.scale, **overrides))
 
     print(f"{'round':>5} {'test_acc':>9} {'mia_acc':>8} {'tpr@1%':>7} "
           f"{'gen_err':>8}")
-    for r in result.rounds:
-        print(
-            f"{r.round_index:>5} {r.global_test_accuracy:>9.3f} "
-            f"{r.mia_accuracy:>8.3f} {r.mia_tpr_at_1_fpr:>7.3f} "
-            f"{r.generalization_error:>8.3f}"
-        )
+    with study:
+        for r in study.records:  # rounds completed before a --resume
+            _print_round(r)
+        for r in study.iter_rounds():
+            _print_round(r)
+            if args.checkpoint:
+                study.checkpoint(args.checkpoint)
+        result = study.result()
     if args.out:
         print(f"wrote {save_result(result, args.out)}")
     if args.csv:
         print(f"wrote {result_to_csv(result, args.csv)}")
+    return 0
+
+
+def _parse_axis_value(text: str):
+    """CLI sweep literal -> python value (int, float, bool, None, str)."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _add_campaign_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "campaign",
+        help="sweep a grid of studies over a process pool",
+    )
+    p.add_argument("--dataset", default="purchase100",
+                   choices=["cifar10", "cifar100", "fashion_mnist", "purchase100"])
+    p.add_argument("--scale", default="tiny", choices=["tiny", "small", "paper"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--name", default=None,
+                   help="base name for the campaign's configs "
+                        "(default: campaign-<dataset>)")
+    p.add_argument("--set", action="append", default=[], metavar="KEY=VALUE",
+                   help="override one base-config knob (repeatable), "
+                        "e.g. --set rounds=2")
+    p.add_argument("--grid", action="append", default=[], metavar="KEY=V1,V2,...",
+                   help="sweep one knob over comma-separated values "
+                        "(repeatable; axes combine as a cartesian grid)")
+    p.add_argument("--jobs", type=int, default=0,
+                   help="studies in flight at once; 0 = auto "
+                        "(CPUs divided by per-study worker demand)")
+    p.add_argument("--out-dir", default=None,
+                   help="write per-study RunResult JSON here; re-running "
+                        "with the same directory resumes the campaign")
+    p.add_argument("--summary", default=None, metavar="CSV",
+                   help="write the one-row-per-study summary table here")
+
+
+def _run_campaign(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        Campaign,
+        results_to_summary_csv,
+        scaled_config,
+    )
+
+    if not args.grid:
+        print("campaign needs at least one --grid axis", file=sys.stderr)
+        return 2
+    overrides = {"seed": args.seed, "name": args.name or f"campaign-{args.dataset}"}
+    for item in args.set:
+        key, _, value = item.partition("=")
+        if not _:
+            print(f"bad --set {item!r} (expected KEY=VALUE)", file=sys.stderr)
+            return 2
+        overrides[key] = _parse_axis_value(value)
+    axes: dict = {}
+    for item in args.grid:
+        key, _, values = item.partition("=")
+        if not _ or not values:
+            print(f"bad --grid {item!r} (expected KEY=V1,V2,...)", file=sys.stderr)
+            return 2
+        axes[key] = [_parse_axis_value(v) for v in values.split(",")]
+    base = scaled_config(args.dataset, args.scale, **overrides)
+    campaign = Campaign.from_grid(base, out_dir=args.out_dir, **axes)
+    print(f"campaign: {len(campaign.configs)} studies")
+    results = campaign.run(jobs=args.jobs or None)
+
+    print(f"{'study':<44} {'rounds':>6} {'max_test':>9} {'max_mia':>8} "
+          f"{'tpr@1%':>7}")
+    for name, result in results.items():
+        print(
+            f"{name:<44} {len(result.rounds):>6} "
+            f"{result.max_test_accuracy:>9.3f} "
+            f"{result.max_mia_accuracy:>8.3f} {result.max_mia_tpr:>7.3f}"
+        )
+    if args.out_dir:
+        print(f"per-study results under {args.out_dir}")
+    if args.summary:
+        print(f"wrote {results_to_summary_csv(results, args.summary)}")
     return 0
 
 
@@ -210,6 +323,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     _add_study_parser(sub)
+    _add_campaign_parser(sub)
     fig = sub.add_parser("figure", help="regenerate one paper figure's data")
     fig.add_argument("--id", type=int, required=True, choices=range(2, 11))
     fig.add_argument("--scale", default="tiny", choices=["tiny", "small", "paper"])
@@ -220,6 +334,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "study":
         return _run_study(args)
+    if args.command == "campaign":
+        return _run_campaign(args)
     if args.command == "figure":
         return _run_figure(args)
     return _run_tables(args)

@@ -1,16 +1,31 @@
 """High-level study API — the paper's primary contribution.
 
-:class:`~repro.core.study.VulnerabilityStudy` wires datasets,
-partitioning, topology, protocol, training and the omniscient MIA
-observer into a single reproducible run, returning per-round records of
-every Section 3.2 metric.
+:class:`~repro.core.study.Study` wires datasets, partitioning,
+topology, protocol, training and the omniscient MIA observer into one
+reproducible *session* — build, stream rounds, checkpoint/resume —
+returning per-round records of every Section 3.2 metric.
+:func:`~repro.core.study.run_study` is the one-call wrapper;
+:mod:`repro.core.config` holds the grouped configuration layer.
 """
 
 from repro.core.attacker import OmniscientObserver
-from repro.core.study import StudyConfig, VulnerabilityStudy, run_study
+from repro.core.config import (
+    DataConfig,
+    ExecutionConfig,
+    ModelConfig,
+    PrivacyConfig,
+    TopologyConfig,
+)
+from repro.core.study import Study, StudyConfig, VulnerabilityStudy, run_study
 
 __all__ = [
     "OmniscientObserver",
+    "DataConfig",
+    "ModelConfig",
+    "TopologyConfig",
+    "ExecutionConfig",
+    "PrivacyConfig",
+    "Study",
     "StudyConfig",
     "VulnerabilityStudy",
     "run_study",

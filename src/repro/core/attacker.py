@@ -120,6 +120,22 @@ class OmniscientObserver:
         """Register a callable round_index -> epsilon for DP runs."""
         self._epsilon_fn = fn
 
+    def capture_state(self) -> dict:
+        """Mutable observation state for checkpoint/resume: the RNG
+        stream (the attack-subsample draws consume it every round) and
+        the records accumulated so far. The fixed global-test subsample
+        is construction state and rebuilds deterministically."""
+        return {
+            "rng": self.rng.bit_generator.state,
+            "records": list(self.records),
+            "node_records": [list(evals) for evals in self.node_records],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.rng.bit_generator.state = state["rng"]
+        self.records = list(state["records"])
+        self.node_records = [list(evals) for evals in state["node_records"]]
+
     # -- per-round hook (signature matches GossipSimulator.run) --------
 
     def __call__(self, round_index: int, simulator: GossipSimulator) -> None:

@@ -1,21 +1,56 @@
-"""One-call API for a full MIA-vulnerability study.
+"""Session API for a full MIA-vulnerability study.
 
 A :class:`StudyConfig` describes everything the paper varies — dataset,
 model, protocol, topology, dynamics, view size, data distribution,
 DP — plus the scale knobs (nodes, rounds, samples) that let the study
-run on a laptop. :func:`run_study` executes it and returns a
-:class:`~repro.metrics.records.RunResult`.
+run on a laptop. The config is the flat compat shim over the grouped
+:mod:`repro.core.config` layer (``DataConfig`` / ``ModelConfig`` /
+``TopologyConfig`` / ``ExecutionConfig`` / ``PrivacyConfig``).
+
+:class:`Study` is the session object with an explicit lifecycle:
+
+* :meth:`Study.build` constructs the pipeline (data, model, simulator,
+  observer) without running anything;
+* :meth:`Study.iter_rounds` is a generator yielding one
+  :class:`~repro.metrics.records.RoundRecord` per completed round, so
+  callers can stream metrics, early-stop on a predicate, or inject
+  faults mid-run;
+* :meth:`Study.checkpoint` / :meth:`Study.resume` serialize the full
+  mutable run state (arena rows, node RNG streams, in-flight messages,
+  sampler views, observer state) so an interrupted run continues
+  bit-identically in float64;
+* the context-manager protocol guarantees executor/shared-memory
+  cleanup (:meth:`Study.close`).
+
+:func:`run_study` stays the one-call wrapper and is bit-identical to
+the pre-session API.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+import os
+import pickle
+from dataclasses import dataclass, replace
 from functools import partial
+from pathlib import Path
+from typing import Iterator
 
 import numpy as np
 
 from repro.core.attacker import OmniscientObserver
+from repro.core.config import (
+    FLAT_TO_GROUP,
+    GROUPS,
+    ConfigGroup,
+    DataConfig,
+    ExecutionConfig,
+    ModelConfig,
+    PrivacyConfig,
+    TopologyConfig,
+    group_field_names,
+    reject_unknown_keys,
+)
 from repro.data.canary import make_canaries, inject_canaries
 from repro.data.datasets import make_dataset
 from repro.data.partition import make_node_splits
@@ -23,13 +58,13 @@ from repro.gossip.engine import make_simulator
 from repro.gossip.protocols import make_protocol
 from repro.gossip.simulator import GossipSimulator, SimulatorConfig
 from repro.gossip.trainer import LocalTrainer, TrainerConfig
-from repro.metrics.records import RunResult
+from repro.metrics.records import RoundRecord, RunResult
 from repro.nn.models import build_model
 from repro.nn.serialize import get_state
 from repro.privacy.accountant import RDPAccountant, calibrate_sigma
 from repro.privacy.dp import DPSGDConfig
 
-__all__ = ["StudyConfig", "VulnerabilityStudy", "run_study"]
+__all__ = ["StudyConfig", "Study", "VulnerabilityStudy", "run_study"]
 
 # Architecture used for each dataset in Table 2.
 _DATASET_MODELS = {
@@ -46,10 +81,23 @@ _DATASET_CLASSES = {
     "purchase100": 100,
 }
 
+# On-disk checkpoint format tag (bump on incompatible layout changes).
+CHECKPOINT_FORMAT = "repro-study-checkpoint"
+CHECKPOINT_VERSION = 1
+
 
 @dataclass(frozen=True)
 class StudyConfig:
-    """Full description of one experimental run."""
+    """Full description of one experimental run (flat compat shim).
+
+    Every field belongs to exactly one group of
+    :mod:`repro.core.config`; the grouped views are exposed as the
+    ``data`` / ``model`` / ``topology`` / ``execution`` / ``privacy``
+    properties, and :meth:`from_groups` assembles a config from group
+    objects. ``to_dict``/``from_dict`` round-trip the grouped form
+    through JSON. Flat construction (``StudyConfig(n_nodes=8, ...)``)
+    keeps working unchanged.
+    """
 
     name: str = "study"
     # Data.
@@ -106,8 +154,140 @@ class StudyConfig:
     keep_node_records: bool = False  # retain per-node evaluations
     seed: int = 0
 
+    def __post_init__(self) -> None:
+        if isinstance(self.mlp_hidden, list):
+            object.__setattr__(self, "mlp_hidden", tuple(self.mlp_hidden))
+        # Constructing the group views runs each group's validation, so
+        # flat and grouped construction reject the same bad values.
+        for group_name in GROUPS:
+            getattr(self, group_name)
+
+    # -- grouped views --------------------------------------------------
+
+    def _group(self, cls: type[ConfigGroup]) -> ConfigGroup:
+        return cls(
+            **{name: getattr(self, name) for name in group_field_names(cls)}
+        )
+
+    @property
+    def data(self) -> DataConfig:
+        return self._group(DataConfig)
+
+    @property
+    def model(self) -> ModelConfig:
+        return self._group(ModelConfig)
+
+    @property
+    def topology(self) -> TopologyConfig:
+        return self._group(TopologyConfig)
+
+    @property
+    def execution(self) -> ExecutionConfig:
+        return self._group(ExecutionConfig)
+
+    @property
+    def privacy(self) -> PrivacyConfig:
+        return self._group(PrivacyConfig)
+
+    @classmethod
+    def from_groups(
+        cls,
+        name: str = "study",
+        seed: int = 0,
+        data: DataConfig | None = None,
+        model: ModelConfig | None = None,
+        topology: TopologyConfig | None = None,
+        execution: ExecutionConfig | None = None,
+        privacy: PrivacyConfig | None = None,
+    ) -> "StudyConfig":
+        """Assemble a config from group objects (defaults fill gaps)."""
+        groups: dict[str, ConfigGroup] = {
+            "data": data if data is not None else DataConfig(),
+            "model": model if model is not None else ModelConfig(),
+            "topology": topology if topology is not None else TopologyConfig(),
+            "execution": (
+                execution if execution is not None else ExecutionConfig()
+            ),
+            "privacy": privacy if privacy is not None else PrivacyConfig(),
+        }
+        flat: dict = {"name": name, "seed": seed}
+        for group_name, group in groups.items():
+            expected = GROUPS[group_name]
+            if not isinstance(group, expected):
+                raise ValueError(
+                    f"{group_name} must be a {expected.__name__}, "
+                    f"got {type(group).__name__}"
+                )
+            for field_name in group_field_names(expected):
+                flat[field_name] = getattr(group, field_name)
+        return cls(**flat)
+
+    def to_dict(self) -> dict:
+        """Grouped, JSON-ready representation (``from_dict`` inverts)."""
+        out: dict = {"name": self.name, "seed": self.seed}
+        for group_name in GROUPS:
+            out[group_name] = getattr(self, group_name).to_dict()
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StudyConfig":
+        """Build from :meth:`to_dict` output; flat keys also accepted."""
+        if not isinstance(payload, dict):
+            raise ValueError(
+                f"StudyConfig.from_dict needs a mapping, "
+                f"got {type(payload).__name__}"
+            )
+        flat: dict = {}
+        for key, value in payload.items():
+            if key in GROUPS:
+                group = (
+                    GROUPS[key].from_dict(value)
+                    if not isinstance(value, ConfigGroup)
+                    else value
+                )
+                for field_name in group_field_names(GROUPS[key]):
+                    flat[field_name] = getattr(group, field_name)
+            elif key in ("name", "seed") or key in FLAT_TO_GROUP:
+                flat[key] = value
+            else:
+                reject_unknown_keys(
+                    "StudyConfig",
+                    [key],
+                    tuple(FLAT_TO_GROUP) + ("name", "seed"),
+                    extra_valid=tuple(GROUPS),
+                )
+        return cls(**flat)
+
     def with_overrides(self, **kwargs) -> "StudyConfig":
-        return replace(self, **kwargs)
+        """Copy with flat fields and/or whole groups replaced.
+
+        Accepts any flat field name, plus the group names (``data``,
+        ``model``, ``topology``, ``execution``, ``privacy``) mapped to a
+        group instance (replaces the group) or a dict (merged into the
+        current group). Unknown keys raise a ValueError listing the
+        valid names.
+        """
+        reject_unknown_keys(
+            "StudyConfig",
+            kwargs,
+            tuple(FLAT_TO_GROUP) + ("name", "seed"),
+            extra_valid=tuple(GROUPS),
+        )
+        flat: dict = {}
+        for key, value in kwargs.items():
+            if key in GROUPS:
+                if isinstance(value, dict):
+                    value = getattr(self, key).with_overrides(**value)
+                if not isinstance(value, GROUPS[key]):
+                    raise ValueError(
+                        f"{key} override must be a {GROUPS[key].__name__} "
+                        f"or a dict of its fields, got {type(value).__name__}"
+                    )
+                for field_name in group_field_names(GROUPS[key]):
+                    flat[field_name] = getattr(value, field_name)
+            else:
+                flat[key] = value
+        return replace(self, **flat)
 
     @property
     def architecture(self) -> str:
@@ -120,12 +300,60 @@ class StudyConfig:
         return _DATASET_CLASSES[self.dataset]
 
 
-class VulnerabilityStudy:
-    """Builds and runs the full pipeline described by a StudyConfig."""
+class Study:
+    """One experiment as a long-lived, introspectable session.
+
+    Lifecycle::
+
+        with Study(config) as study:        # __enter__ calls build()
+            for record in study.iter_rounds():
+                ...                          # stream, early-stop, inject
+                study.checkpoint("run.ckpt") # optional, any boundary
+            result = study.result()
+
+    ``run()`` collapses the whole lifecycle into one call and is
+    bit-identical to the historical ``run_study`` behavior. A study
+    interrupted at round k can be serialized with :meth:`checkpoint`
+    and continued by :meth:`resume`; the resumed run reproduces the
+    uninterrupted ``RunResult`` bit for bit on float64 arenas.
+    """
 
     def __init__(self, config: StudyConfig):
         self.config = config
-        cfg = config
+        self._built = False
+        self._finalized = False
+        self._rounds_done = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    def build(self) -> "Study":
+        """Construct the pipeline (idempotent); returns self."""
+        if self._built:
+            return self
+        self._build()
+        self._built = True
+        return self
+
+    def __enter__(self) -> "Study":
+        return self.build()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release executor workers and shared memory (idempotent)."""
+        if self._built:
+            self.simulator.close()
+
+    @property
+    def rounds_completed(self) -> int:
+        """Rounds observed so far (also the next round index)."""
+        return self._rounds_done
+
+    # -- construction ---------------------------------------------------
+
+    def _build(self) -> None:
+        cfg = self.config
         # Data ---------------------------------------------------------
         dataset_kwargs = {}
         if cfg.architecture != "mlp":
@@ -206,25 +434,33 @@ class VulnerabilityStudy:
             self.initial_state,
             model_builder=self.model_builder,
         )
-        # DP: calibrated against the exact wake schedule, enforced with
-        # a per-node update cap so the budget is a hard guarantee.
-        self._dp_q = 0.0
-        self._sigma = 0.0
-        if cfg.dp_epsilon is not None:
-            self._install_dp()
-        self.observer = OmniscientObserver(
-            self.model,
-            self.global_test,
-            canaries=self.canaries,
-            canary_base=self.base_train if self.canaries else None,
-            max_global_test=cfg.max_global_test,
-            max_attack_samples=cfg.max_attack_samples,
-            seed=cfg.seed + 4,
-            keep_node_records=cfg.keep_node_records,
-            eval_batch=cfg.eval_batch,
-        )
-        if cfg.dp_epsilon is not None:
-            self.observer.set_epsilon_fn(self._epsilon_at_round)
+        # From here on a live simulator exists (worker processes,
+        # shared-memory segments); a failing construction step must not
+        # leak it — close() won't run because _built is never set.
+        try:
+            # DP: calibrated against the exact wake schedule, enforced
+            # with a per-node update cap so the budget is a hard
+            # guarantee.
+            self._dp_q = 0.0
+            self._sigma = 0.0
+            if cfg.dp_epsilon is not None:
+                self._install_dp()
+            self.observer = OmniscientObserver(
+                self.model,
+                self.global_test,
+                canaries=self.canaries,
+                canary_base=self.base_train if self.canaries else None,
+                max_global_test=cfg.max_global_test,
+                max_attack_samples=cfg.max_attack_samples,
+                seed=cfg.seed + 4,
+                keep_node_records=cfg.keep_node_records,
+                eval_batch=cfg.eval_batch,
+            )
+            if cfg.dp_epsilon is not None:
+                self.observer.set_epsilon_fn(self._epsilon_at_round)
+        except BaseException:
+            self.simulator.close()
+            raise
 
     # -- DP plumbing ----------------------------------------------------
 
@@ -278,14 +514,61 @@ class VulnerabilityStudy:
 
     # -- execution --------------------------------------------------------
 
+    def iter_rounds(self, rounds: int | None = None) -> Iterator[RoundRecord]:
+        """Stream the remaining rounds, one :class:`RoundRecord` each.
+
+        ``rounds`` bounds how many *additional* rounds to run (capped
+        at the config horizon); None runs to the horizon. The generator
+        can be abandoned at any boundary (early stopping) — call
+        :meth:`result` for the partial run and :meth:`close` to release
+        resources. End-of-run bookkeeping (final message flush and the
+        ``messages_undelivered`` tally) happens exactly once, when the
+        configured horizon is reached.
+        """
+        self.build()
+        target = self.config.rounds
+        if rounds is not None:
+            if rounds < 0:
+                raise ValueError("rounds must be non-negative")
+            target = min(target, self._rounds_done + rounds)
+        while self._rounds_done < target:
+            self.simulator.run_round()
+            round_index = self._rounds_done
+            self.observer(round_index, self.simulator)
+            self._rounds_done += 1
+            # Finalize BEFORE the last yield: a caller that breaks on
+            # the final record (a predicate satisfied at the horizon)
+            # must still get the end-of-run flush and tally.
+            self._maybe_finish()
+            yield self.observer.records[-1]
+        self._maybe_finish()
+
+    def _maybe_finish(self) -> None:
+        if self._rounds_done >= self.config.rounds and not self._finalized:
+            self.simulator.finish()
+            self._finalized = True
+
     def run(self) -> RunResult:
+        """Run to the horizon and clean up (the one-call API)."""
         try:
-            self.simulator.run(self.config.rounds, round_callback=self.observer)
+            for _ in self.iter_rounds():
+                pass
+            return self.result()
         finally:
-            self.simulator.close()
-        result = RunResult(
+            self.close()
+
+    @property
+    def records(self) -> list[RoundRecord]:
+        """Records observed so far (live view of the observer's list)."""
+        self.build()
+        return self.observer.records
+
+    def result(self) -> RunResult:
+        """The run so far as a :class:`RunResult` (partial runs included)."""
+        self.build()
+        return RunResult(
             config_name=self.config.name,
-            rounds=self.observer.records,
+            rounds=list(self.observer.records),
             metadata={
                 "dataset": self.config.dataset,
                 "protocol": self.config.protocol,
@@ -308,9 +591,85 @@ class VulnerabilityStudy:
                 "messages_undelivered": self.simulator.messages_undelivered,
             },
         )
-        return result
+
+    # -- checkpoint / resume ----------------------------------------------
+
+    def checkpoint(self, path: str | Path) -> Path:
+        """Serialize config + full mutable run state to ``path``.
+
+        Call at a round boundary (between :meth:`iter_rounds` yields).
+        The file carries the arena/node model states, every RNG stream
+        (simulator, per-node, observer), sampler views, in-flight and
+        pending messages, per-node counters (which also drive the DP
+        accountant) and the observer's records — everything needed for
+        :meth:`resume` to continue bit-identically in float64.
+        """
+        self.build()
+        path = Path(path)
+        payload = {
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "config": self.config.to_dict(),
+            "rounds_done": self._rounds_done,
+            "finalized": self._finalized,
+            "simulator": self.simulator.capture_state(),
+            "observer": self.observer.capture_state(),
+        }
+        # Write-then-rename: a crash mid-dump (the exact scenario
+        # checkpoints exist for) must not destroy the previous good
+        # checkpoint at this path.
+        tmp = path.with_name(path.name + ".tmp")
+        with tmp.open("wb") as handle:
+            pickle.dump(payload, handle)
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def resume(cls, path: str | Path) -> "Study":
+        """Rebuild a session from a :meth:`checkpoint` file.
+
+        The pipeline is reconstructed deterministically from the stored
+        config, then every piece of mutable state is restored, so
+        ``iter_rounds`` continues exactly where the checkpointed study
+        stopped.
+        """
+        path = Path(path)
+        with path.open("rb") as handle:
+            payload = pickle.load(handle)
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != CHECKPOINT_FORMAT
+        ):
+            raise ValueError(f"{path} is not a study checkpoint")
+        if payload.get("version") != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {payload.get('version')!r} "
+                f"(this build reads version {CHECKPOINT_VERSION})"
+            )
+        study = cls(StudyConfig.from_dict(payload["config"]))
+        study.build()
+        try:
+            study.simulator.restore_state(payload["simulator"])
+            study.observer.restore_state(payload["observer"])
+            study._rounds_done = payload["rounds_done"]
+            study._finalized = payload["finalized"]
+        except BaseException:
+            # A malformed state dict must not leak the freshly built
+            # simulator's workers/shared memory — the caller never gets
+            # a Study to close.
+            study.close()
+            raise
+        return study
+
+
+class VulnerabilityStudy(Study):
+    """Eager-build compat alias: construction builds the pipeline."""
+
+    def __init__(self, config: StudyConfig):
+        super().__init__(config)
+        self.build()
 
 
 def run_study(config: StudyConfig) -> RunResult:
-    """Convenience wrapper: build and run in one call."""
-    return VulnerabilityStudy(config).run()
+    """Convenience wrapper: build, run and clean up in one call."""
+    return Study(config).run()

@@ -13,7 +13,7 @@ from repro.experiments.configs import (
     table2_rows,
     dataset_model_summary,
 )
-from repro.experiments.runner import run_experiment, run_many
+from repro.experiments.runner import Campaign, run_experiment, run_many
 from repro.experiments.io import (
     save_result,
     load_result,
@@ -28,6 +28,7 @@ __all__ = [
     "paper_table2_config",
     "table2_rows",
     "dataset_model_summary",
+    "Campaign",
     "run_experiment",
     "run_many",
     "save_result",

@@ -8,11 +8,10 @@ Runs are expensive at larger scales; these helpers serialize
 from __future__ import annotations
 
 import csv
-import json
-from dataclasses import asdict
+import os
 from pathlib import Path
 
-from repro.metrics.records import RoundRecord, RunResult
+from repro.metrics.records import RunResult
 
 __all__ = ["save_result", "load_result", "result_to_csv", "results_to_summary_csv"]
 
@@ -33,28 +32,26 @@ _CSV_COLUMNS = [
 
 
 def save_result(result: RunResult, path: str | Path) -> Path:
-    """Write a run to JSON. Returns the path written."""
+    """Write a run to JSON (``RunResult.to_json``). Returns the path.
+
+    Write-then-rename: runs are expensive, and a crash mid-write must
+    not leave a truncated file where a loadable result (or nothing, the
+    signal campaign resume keys on) should be.
+    """
     path = Path(path)
-    payload = {
-        "config_name": result.config_name,
-        "metadata": result.metadata,
-        "rounds": [asdict(record) for record in result.rounds],
-    }
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(result.to_json())
+    os.replace(tmp, path)
     return path
 
 
 def load_result(path: str | Path) -> RunResult:
     """Read a run previously written by :func:`save_result`."""
-    payload = json.loads(Path(path).read_text())
-    if not isinstance(payload, dict) or "rounds" not in payload:
-        raise ValueError(f"{path} is not a saved RunResult")
-    rounds = [RoundRecord(**record) for record in payload["rounds"]]
-    return RunResult(
-        config_name=payload["config_name"],
-        rounds=rounds,
-        metadata=payload.get("metadata", {}),
-    )
+    path = Path(path)
+    try:
+        return RunResult.from_json(path.read_text())
+    except ValueError as exc:
+        raise ValueError(f"{path} is not a saved RunResult: {exc}") from exc
 
 
 def result_to_csv(result: RunResult, path: str | Path) -> Path:
@@ -64,7 +61,7 @@ def result_to_csv(result: RunResult, path: str | Path) -> Path:
         writer = csv.writer(handle)
         writer.writerow(_CSV_COLUMNS)
         for record in result.rounds:
-            row = asdict(record)
+            row = record.to_dict()
             writer.writerow([row[c] for c in _CSV_COLUMNS])
     return path
 

@@ -566,6 +566,42 @@ class FlatGossipSimulator(GossipSimulator):
             for node in self.nodes:
                 node.state = self.arena.state_view(node.node_id)
 
+    # -- state capture (checkpoint/resume) ----------------------------
+
+    def _copy_payload(self, payload):
+        """Messages are flat vectors under this engine."""
+        return np.array(payload)
+
+    def _capture_node_model(self, node):
+        """Node models live in the arena snapshot; nothing per node."""
+        return None
+
+    def _restore_node_model(self, node, saved) -> None:
+        """No-op: the arena restore repopulates the rows the node-state
+        views are bound to."""
+
+    def capture_state(self) -> dict:
+        state = super().capture_state()
+        state["arena"] = self.arena.data.copy()
+        state["sessions"] = list(self._sessions)
+        state["pending"] = [
+            (sender, receiver, np.array(payload))
+            for sender, receiver, payload in self._pending
+        ]
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        # Written in place so existing node-state views (and, for the
+        # sharded executor, the shared-memory segment the workers are
+        # attached to) stay bound to the restored rows.
+        self.arena.data[...] = state["arena"]
+        self._sessions = list(state["sessions"])
+        self._pending = [
+            (sender, receiver, np.array(payload))
+            for sender, receiver, payload in state["pending"]
+        ]
+
     def state_matrix(self, layout=None) -> np.ndarray:
         """The live arena, zero-copy (read-only by contract).
 

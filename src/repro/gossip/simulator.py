@@ -285,6 +285,13 @@ class GossipSimulator:
             self.run_round()
             if round_callback is not None:
                 round_callback(round_index, self)
+        self.finish()
+
+    def finish(self) -> None:
+        """End-of-run bookkeeping: deliver messages due at the final
+        tick and tally the remainder in ``messages_undelivered``. The
+        streaming session API calls this once the configured horizon is
+        reached; :meth:`run` calls it for the one-shot path."""
         self._flush_end_of_run()
         self.messages_undelivered = len(self._in_flight)
 
@@ -305,6 +312,101 @@ class GossipSimulator:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # -- state capture (checkpoint/resume) --------------------------------
+
+    def _copy_payload(self, payload):
+        """Deep-copy one message payload (engine hook: the dict engine
+        ships dict states, the flat engine ships flat vectors)."""
+        return {name: arr.copy() for name, arr in payload.items()}
+
+    def _capture_node_model(self, node: GossipNode):
+        """The node's model parameters, detached from live storage
+        (engine hook: the flat engine stores models in the arena
+        snapshot instead and returns None here)."""
+        return {name: arr.copy() for name, arr in node.state.items()}
+
+    def _restore_node_model(self, node: GossipNode, saved) -> None:
+        if saved is not None:
+            node.state = {name: arr.copy() for name, arr in saved.items()}
+
+    def capture_state(self) -> dict:
+        """Snapshot every piece of mutable run state.
+
+        Together with the (deterministically rebuildable) construction
+        state, the returned dict fully determines the rest of the run:
+        the tick clock, the simulator RNG stream (shared with the peer
+        sampler), sampler views, per-node models / inboxes / RNG
+        streams / counters, the in-flight message heap, the message log
+        and the drop/skip tallies. ``restore_state`` inverts it;
+        engines extend both via the ``_copy_payload`` /
+        ``_capture_node_model`` hooks and subclass overrides.
+        """
+        trainer = self.protocol.trainer
+        return {
+            "tick": self.clock.tick,
+            "rng": self.rng.bit_generator.state,
+            "sampler": self.sampler.capture_state(),
+            "send_seq": self._send_seq,
+            "in_flight": [
+                (tick, seq, sender, receiver, self._copy_payload(payload))
+                for tick, seq, sender, receiver, payload in self._in_flight
+            ],
+            "messages_dropped": self.messages_dropped,
+            "wakes_skipped": self.wakes_skipped,
+            "messages_undelivered": self.messages_undelivered,
+            "log": {
+                "count": self.log.count,
+                "per_sender": dict(self.log.per_sender),
+                "messages": list(self.log.messages),
+            },
+            # The dict engine's lr_decay bookkeeping lives on the shared
+            # trainer (the flat engine tracks sessions itself).
+            "trainer_sessions": dict(trainer._sessions),
+            "trainer_steps": trainer.steps_taken,
+            "nodes": [
+                {
+                    "model": self._capture_node_model(node),
+                    "inbox": [self._copy_payload(p) for p in node.inbox],
+                    "rng": node.rng.bit_generator.state,
+                    "updates_performed": node.updates_performed,
+                    "models_received": node.models_received,
+                }
+                for node in self.nodes
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`capture_state` snapshot onto a freshly
+        built simulator (same config). Every RNG stream is restored
+        exactly, so the continued run is bit-identical to one that was
+        never interrupted."""
+        self.clock.tick = state["tick"]
+        # The sampler shares this generator object; one restore covers
+        # both draw streams.
+        self.rng.bit_generator.state = state["rng"]
+        self.sampler.restore_state(state["sampler"])
+        self._send_seq = state["send_seq"]
+        self._in_flight = [
+            (tick, seq, sender, receiver, self._copy_payload(payload))
+            for tick, seq, sender, receiver, payload in state["in_flight"]
+        ]
+        heapq.heapify(self._in_flight)
+        self.messages_dropped = state["messages_dropped"]
+        self.wakes_skipped = state["wakes_skipped"]
+        self.messages_undelivered = state["messages_undelivered"]
+        self.log.count = state["log"]["count"]
+        self.log.per_sender = dict(state["log"]["per_sender"])
+        self.log.messages = list(state["log"]["messages"])
+        trainer = self.protocol.trainer
+        trainer._sessions = dict(state["trainer_sessions"])
+        trainer.steps_taken = state["trainer_steps"]
+        for node, saved in zip(self.nodes, state["nodes"]):
+            self._restore_node_model(node, saved["model"])
+            node.inbox = [self._copy_payload(p) for p in saved["inbox"]]
+            node.rng.bit_generator.state = saved["rng"]
+            node.updates_performed = saved["updates_performed"]
+            node.models_received = saved["models_received"]
 
     # -- introspection ----------------------------------------------------
 

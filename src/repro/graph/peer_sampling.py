@@ -56,6 +56,15 @@ class PeerSampler:
         """Hook called by the simulator when ``node_id`` wakes up."""
         raise NotImplementedError
 
+    def capture_state(self) -> dict:
+        """Mutable sampler state for checkpoint/resume. The draw stream
+        is NOT included: ``_rng`` is the simulator's generator, which
+        the simulator captures itself."""
+        return {"views": [sorted(view) for view in self._views]}
+
+    def restore_state(self, state: dict) -> None:
+        self._views = [set(view) for view in state["views"]]
+
     @property
     def dynamic(self) -> bool:
         raise NotImplementedError
@@ -160,6 +169,15 @@ class FreshGraphSampler(PeerSampler):
             graph = random_regular_graph(self.n_nodes, self.k, self._rng)
             self._views = views_from_graph(graph)
             self._wakes_since_resample = 0
+
+    def capture_state(self) -> dict:
+        state = super().capture_state()
+        state["wakes_since_resample"] = self._wakes_since_resample
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self._wakes_since_resample = state["wakes_since_resample"]
 
     @property
     def dynamic(self) -> bool:

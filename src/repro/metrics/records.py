@@ -9,7 +9,8 @@ exposes the series the figures plot.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field, fields
 
 import numpy as np
 
@@ -41,6 +42,24 @@ class RoundRecord:
     @property
     def generalization_error(self) -> float:
         return self.local_train_accuracy - self.local_test_accuracy
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict of all fields (``from_dict`` inverts)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RoundRecord":
+        """Build from :meth:`to_dict` output, rejecting unknown keys
+        with the valid field names (schema drift surfaces as a clear
+        error, not a dataclass ``TypeError``)."""
+        valid = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - valid)
+        if unknown:
+            raise ValueError(
+                f"unknown RoundRecord field(s): {', '.join(unknown)}; "
+                f"valid fields are: {', '.join(sorted(valid))}"
+            )
+        return cls(**payload)
 
     @classmethod
     def from_evaluations(
@@ -113,6 +132,42 @@ class RunResult:
     @property
     def total_messages(self) -> int:
         return int(sum(r.messages_sent for r in self.rounds))
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict: config name, metadata and per-round rows."""
+        return {
+            "config_name": self.config_name,
+            "metadata": self.metadata,
+            "rounds": [record.to_dict() for record in self.rounds],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunResult":
+        if (
+            not isinstance(payload, dict)
+            or "rounds" not in payload
+            or "config_name" not in payload
+        ):
+            raise ValueError("not a serialized RunResult")
+        return cls(
+            config_name=payload["config_name"],
+            rounds=[RoundRecord.from_dict(r) for r in payload["rounds"]],
+            metadata=payload.get("metadata", {}),
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Lossless JSON text (sorted keys, so output is stable)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunResult":
+        """Inverse of :meth:`to_json` (round-trips bit-exactly: floats
+        survive JSON via repr round-tripping)."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"not a serialized RunResult: {exc}") from exc
+        return cls.from_dict(payload)
 
     def summary(self) -> dict:
         """Headline numbers used by the benchmark harness tables."""

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import StudyConfig, VulnerabilityStudy, run_study
+from repro import Study, StudyConfig, VulnerabilityStudy, run_study
 
 
 def tiny_config(**overrides):
@@ -129,6 +129,114 @@ class TestRunStudy:
         0.5 accuracy on node models."""
         result = run_study(tiny_config(rounds=3, local_epochs=3))
         assert result.max_mia_accuracy > 0.55
+
+
+class TestStudySession:
+    def test_streaming_bit_identical_to_run_study(self):
+        config = tiny_config(rounds=3, seed=4)
+        reference = run_study(config)
+        with Study(config) as study:
+            streamed = list(study.iter_rounds())
+            result = study.result()
+        assert len(streamed) == 3
+        for attr in ("mia_accuracy", "global_test_accuracy", "model_spread"):
+            np.testing.assert_array_equal(
+                reference.series(attr), result.series(attr)
+            )
+        assert reference.metadata == result.metadata
+
+    def test_build_is_lazy_and_idempotent(self):
+        study = Study(tiny_config())
+        assert not hasattr(study, "simulator")  # nothing built yet
+        study.build()
+        simulator = study.simulator
+        study.build()
+        assert study.simulator is simulator
+        study.close()
+
+    def test_iter_rounds_yields_records_as_produced(self):
+        with Study(tiny_config(rounds=3)) as study:
+            rounds = study.iter_rounds()
+            first = next(rounds)
+            assert first.round_index == 0
+            assert study.rounds_completed == 1
+            assert len(study.result().rounds) == 1  # partial result
+
+    def test_early_stop_on_predicate(self):
+        with Study(tiny_config(rounds=3)) as study:
+            for record in study.iter_rounds():
+                if record.round_index == 1:
+                    break  # abandon the generator mid-run
+            result = study.result()
+        assert [r.round_index for r in result.rounds] == [0, 1]
+
+    def test_break_on_final_record_still_finalizes(self):
+        """End-of-run bookkeeping must not depend on the caller
+        advancing the generator past the last yield: with long message
+        delays, leftover in-flight traffic must be tallied even when
+        the consumer breaks on the final record."""
+        config = tiny_config(rounds=2, delay_ticks=150)
+        reference = run_study(config)
+        assert reference.metadata["messages_undelivered"] > 0  # test setup
+        with Study(config) as study:
+            for record in study.iter_rounds():
+                if record.round_index == config.rounds - 1:
+                    break
+            result = study.result()
+        assert result.metadata == reference.metadata
+
+    def test_iter_rounds_in_chunks(self):
+        config = tiny_config(rounds=3)
+        reference = run_study(config)
+        with Study(config) as study:
+            assert len(list(study.iter_rounds(rounds=2))) == 2
+            assert len(list(study.iter_rounds())) == 1  # the remainder
+            result = study.result()
+        np.testing.assert_array_equal(
+            reference.series("mia_accuracy"), result.series("mia_accuracy")
+        )
+        assert reference.metadata == result.metadata
+
+    def test_iter_rounds_rejects_negative(self):
+        with Study(tiny_config()) as study:
+            with pytest.raises(ValueError):
+                list(study.iter_rounds(rounds=-1))
+
+    def test_close_is_idempotent_and_safe_unbuilt(self):
+        study = Study(tiny_config())
+        study.close()  # never built: must not raise
+        study.build()
+        study.close()
+        study.close()
+
+    def test_run_closes_the_session(self):
+        config = tiny_config(executor="sharded", n_shards=2)
+        study = Study(config)
+        result = study.run()
+        assert len(result.rounds) == config.rounds
+        # After run(), the sharded executor is torn down.
+        assert study.simulator._executor is None
+
+    def test_build_failure_releases_simulator_resources(self, monkeypatch):
+        """A construction step failing after the simulator exists must
+        close it (shard workers, shared-memory segments), because
+        close() is gated on the build having completed."""
+        import repro.core.study as study_module
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("observer boom")
+
+        monkeypatch.setattr(study_module, "OmniscientObserver", boom)
+        study = Study(tiny_config(executor="sharded", n_shards=2))
+        with pytest.raises(RuntimeError, match="observer boom"):
+            study.build()
+        assert study.simulator.arena.shared_name is None  # segment freed
+        assert study.simulator._executor is None
+
+    def test_vulnerability_study_builds_eagerly(self):
+        study = VulnerabilityStudy(tiny_config())
+        assert hasattr(study, "simulator")  # compat: built on construction
+        study.close()
 
 
 class TestCanaryStudy:

@@ -31,6 +31,11 @@ class TestJSONRoundtrip:
         )
         assert loaded.metadata == result.metadata
 
+    def test_save_is_atomic_no_temp_left_behind(self, result, tmp_path):
+        path = save_result(result, tmp_path / "run.json")
+        assert path.exists()
+        assert list(tmp_path.glob("*.tmp")) == []
+
     def test_load_rejects_garbage(self, tmp_path):
         bad = tmp_path / "bad.json"
         bad.write_text("[1, 2, 3]")

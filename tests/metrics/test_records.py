@@ -116,3 +116,51 @@ class TestModelSpreadField:
                 RoundRecord.from_evaluations(i, [evaluation()], model_spread=s)
             )
         np.testing.assert_allclose(run.series("model_spread"), [0.5, 0.4, 0.3])
+
+
+class TestJSONRoundTrip:
+    def make_run(self):
+        run = RunResult(
+            "rt", metadata={"dataset": "purchase100", "beta": None, "n_nodes": 6}
+        )
+        for i in range(3):
+            run.append(
+                RoundRecord.from_evaluations(
+                    i,
+                    [evaluation(test=0.1 * i + 1 / 3)],
+                    messages_sent=i * 7,
+                    canary_tpr_at_1_fpr=None if i == 0 else 0.25,
+                    epsilon=None if i == 0 else 1.5,
+                    model_spread=0.1 * i,
+                )
+            )
+        return run
+
+    def test_to_json_from_json_round_trip_bit_exact(self):
+        run = self.make_run()
+        restored = RunResult.from_json(run.to_json())
+        assert restored.config_name == run.config_name
+        assert restored.metadata == run.metadata
+        assert restored.rounds == run.rounds  # dataclass equality: exact floats
+        # And stable text: serializing again yields identical bytes.
+        assert restored.to_json() == run.to_json()
+
+    def test_round_record_dict_round_trip(self):
+        record = self.make_run().rounds[2]
+        assert RoundRecord.from_dict(record.to_dict()) == record
+
+    def test_round_record_rejects_unknown_keys_listing_valid(self):
+        payload = self.make_run().rounds[0].to_dict()
+        payload["mia_acc"] = 0.5
+        with pytest.raises(ValueError, match="mia_accuracy"):
+            RoundRecord.from_dict(payload)
+
+    def test_from_dict_missing_config_name_is_value_error(self):
+        with pytest.raises(ValueError, match="not a serialized RunResult"):
+            RunResult.from_dict({"rounds": []})
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(ValueError, match="not a serialized RunResult"):
+            RunResult.from_json("{not json")
+        with pytest.raises(ValueError, match="not a serialized RunResult"):
+            RunResult.from_json('{"no": "rounds"}')

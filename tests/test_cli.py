@@ -107,3 +107,118 @@ class TestFigurePlot:
         out = capsys.readouterr().out
         assert "o=static-2reg" in out
         assert "|" in out  # chart body
+
+
+class TestStudyCheckpointResume:
+    def _cli_config(self, rounds=3):
+        from repro.experiments import scaled_config
+
+        return scaled_config(
+            "purchase100", "tiny",
+            name="cli-purchase100", n_nodes=6, rounds=rounds,
+            protocol="samo", dynamic=False,
+        )
+
+    def test_checkpoint_flag_writes_resumable_file(self, tmp_path, capsys):
+        ck = tmp_path / "run.ckpt"
+        code = main([
+            "study", "--rounds", "2", "--nodes", "6",
+            "--checkpoint", str(ck),
+        ])
+        assert code == 0
+        assert ck.exists()
+        from repro import Study
+
+        resumed = Study.resume(ck)
+        assert resumed.rounds_completed == 2
+        resumed.close()
+
+    def test_resume_continues_bit_identically(self, tmp_path):
+        ref_json = tmp_path / "ref.json"
+        assert main([
+            "study", "--rounds", "3", "--nodes", "6", "--out", str(ref_json),
+        ]) == 0
+        # Interrupt the same study at round 1 via the session API, then
+        # let the CLI finish it from the checkpoint.
+        from repro import Study
+
+        study = Study(self._cli_config()).build()
+        rounds = study.iter_rounds()
+        next(rounds)
+        ck = tmp_path / "run.ckpt"
+        study.checkpoint(ck)
+        study.close()
+        resumed_json = tmp_path / "resumed.json"
+        assert main([
+            "study", "--resume", str(ck), "--out", str(resumed_json),
+        ]) == 0
+        assert json.loads(ref_json.read_text()) == json.loads(
+            resumed_json.read_text()
+        )
+
+    def test_out_json_round_trips_through_runresult(self, tmp_path):
+        """Regression for the CLI writers: --out is RunResult.to_json
+        (stable bytes) and --csv rows match the records."""
+        import csv as csv_module
+
+        from repro.metrics.records import RunResult
+
+        out_json = tmp_path / "run.json"
+        out_csv = tmp_path / "run.csv"
+        assert main([
+            "study", "--rounds", "2", "--nodes", "6",
+            "--out", str(out_json), "--csv", str(out_csv),
+        ]) == 0
+        result = RunResult.from_json(out_json.read_text())
+        assert len(result.rounds) == 2
+        assert result.to_json() == out_json.read_text()
+        with out_csv.open() as handle:
+            rows = list(csv_module.DictReader(handle))
+        assert len(rows) == 2
+        for row, record in zip(rows, result.rounds):
+            assert int(row["round_index"]) == record.round_index
+            assert float(row["mia_accuracy"]) == record.mia_accuracy
+            assert float(row["model_spread"]) == record.model_spread
+
+
+class TestCampaign:
+    def test_grid_campaign_runs_and_persists(self, tmp_path, capsys):
+        out_dir = tmp_path / "camp"
+        summary = tmp_path / "summary.csv"
+        code = main([
+            "campaign", "--dataset", "purchase100", "--scale", "tiny",
+            "--set", "rounds=2", "--set", "n_nodes=6",
+            "--grid", "seed=0,1", "--jobs", "1",
+            "--out-dir", str(out_dir), "--summary", str(summary),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "campaign: 2 studies" in out
+        result_files = sorted(
+            p.name for p in out_dir.glob("*.json") if not p.name.startswith(".")
+        )
+        assert len(result_files) == 2
+        assert (out_dir / ".campaign-manifest.json").exists()
+        assert summary.read_text().count("\n") == 3  # header + 2 studies
+
+    def test_campaign_resumes_from_out_dir(self, tmp_path, capsys):
+        out_dir = tmp_path / "camp"
+        args = [
+            "campaign", "--dataset", "purchase100", "--scale", "tiny",
+            "--set", "rounds=2", "--set", "n_nodes=6",
+            "--grid", "seed=0", "--jobs", "1", "--out-dir", str(out_dir),
+        ]
+        assert main(args) == 0
+        (path,) = (
+            p for p in out_dir.glob("*.json") if not p.name.startswith(".")
+        )
+        mtime = path.stat().st_mtime_ns
+        assert main(args) == 0  # second run loads from disk
+        assert path.stat().st_mtime_ns == mtime
+
+    def test_campaign_without_grid_errors(self, capsys):
+        assert main(["campaign"]) == 2
+        assert "--grid" in capsys.readouterr().err
+
+    def test_bad_grid_spec_errors(self, capsys):
+        assert main(["campaign", "--grid", "seed"]) == 2

@@ -1,0 +1,63 @@
+"""Smoke-run every script in examples/ at tiny scale.
+
+Each example honors ``REPRO_EXAMPLES_SCALE=smoke`` by shrinking its
+rounds/nodes/sweeps to seconds of work; this runner executes them all
+in subprocesses with that knob set (and ``src/`` on the path), failing
+on the first non-zero exit. Wired into ``make examples`` and CI so the
+documented entry points cannot rot.
+
+Usage:  python tools/run_examples.py [pattern ...]
+        (patterns filter by substring of the script name)
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+EXAMPLES = REPO / "examples"
+
+
+def main(argv: list[str]) -> int:
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    if argv:
+        scripts = [s for s in scripts if any(pat in s.name for pat in argv)]
+    if not scripts:
+        print("no example scripts matched", file=sys.stderr)
+        return 2
+    env = dict(os.environ)
+    env["REPRO_EXAMPLES_SCALE"] = "smoke"
+    src = str(REPO / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    failures = []
+    for script in scripts:
+        start = time.perf_counter()
+        proc = subprocess.run(
+            [sys.executable, str(script)],
+            env=env,
+            cwd=REPO,
+            capture_output=True,
+            text=True,
+        )
+        elapsed = time.perf_counter() - start
+        status = "ok" if proc.returncode == 0 else f"FAIL ({proc.returncode})"
+        print(f"{script.name:<32} {status:>9}  {elapsed:6.1f}s")
+        if proc.returncode != 0:
+            failures.append(script.name)
+            sys.stdout.write(proc.stdout)
+            sys.stderr.write(proc.stderr)
+    if failures:
+        print(f"\n{len(failures)} example(s) failed: {', '.join(failures)}")
+        return 1
+    print(f"\nall {len(scripts)} examples passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
