@@ -13,7 +13,8 @@ test:
 ## Test suite under coverage, with a floor on the engine-critical
 ## packages (needs `python -m pip install coverage`).
 coverage:
-	$(PYTHON) -m coverage run --source=src/repro/nn,src/repro/gossip \
+	$(PYTHON) -m coverage run \
+		--source=src/repro/nn,src/repro/gossip,src/repro/privacy,src/repro/metrics \
 		-m pytest -x -q tests
 	$(PYTHON) -m coverage report -m --fail-under=85
 

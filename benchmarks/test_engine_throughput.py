@@ -16,7 +16,14 @@ Acceptance properties of the engine PRs:
   zero-copy shared-memory arena) is at least 1.5x faster than the
   single-process batched executor at 128 nodes with >= 2 shards, with
   bit-identical float64 results (skipped on single-CPU machines, where
-  process parallelism cannot win by construction).
+  process parallelism cannot win by construction);
+* vectorized DP-SGD (tiled per-sample gradients + blocked clip/noise)
+  is at least 2x faster than the per-row serial executor at 64 nodes,
+  with bit-identical float64 results — DP no longer falls back;
+* sharded observation (shard workers scoring their own arena rows) is
+  at least 1.5x faster than the parent row-batch path at 64 nodes
+  with >= 2 shards, agreeing at 1e-9 (timing skipped on single-CPU
+  machines; the parity check and the parent baseline always run).
 
 Timing assertions compare best-of-N wall clocks of the two paths doing
 the *same* work, so the test is robust to absolute machine speed; only
@@ -52,6 +59,7 @@ from repro.nn import get_state, set_state
 from repro.nn.flat import StateLayout
 from repro.nn.models import build_model
 from repro.nn.serialize import average_states
+from repro.privacy.dp import DPSGDConfig
 from repro.privacy.mia import mia_reports_batched
 
 from benchmarks.conftest import print_series, run_once, update_bench_json
@@ -365,6 +373,99 @@ class TestTrainingThroughput:
         )
 
 
+class TestDPTrainingThroughput:
+    """The PR 6 gate: DP-SGD no longer falls back per row, so a DP
+    tick must enjoy the same blocked speedup as a plain one."""
+
+    def test_vectorized_dp_at_least_2x_faster(self, benchmark):
+        """One tick's DP local updates at 64 nodes — per-sample
+        clipping + Gaussian noise — per-row workspace reloads vs the
+        tiled per-sample-gradient block.
+
+        Correctness is gated in float64 (bit-identical, noise draws
+        included); the timing race runs in float32."""
+        n_per_node = 32
+        model = build_model(
+            "mlp", in_features=96, num_classes=100, hidden=(48, 24)
+        )
+        template = get_state(model)
+        layout = StateLayout.from_state(template)
+        train, _ = make_synthetic_tabular_dataset(
+            "bench", 2600, 100, num_features=96, num_classes=100, seed=3
+        )
+        splits = make_node_splits(
+            train, N_NODES, train_per_node=n_per_node, test_per_node=4, seed=3
+        )
+        config = TrainerConfig(
+            learning_rate=0.05,
+            momentum=0.9,
+            weight_decay=5e-4,
+            local_epochs=3,
+            batch_size=8,
+            dp=DPSGDConfig(clip_norm=1.0, noise_multiplier=0.7),
+        )
+        trainer = LocalTrainer(model, config)
+        rng = np.random.default_rng(17)
+        serial = SerialExecutor(trainer, layout, splits)
+        batched = BatchedExecutor(trainer, layout, splits)
+
+        def make_tasks(arena, seed):
+            return [
+                UpdateTask(
+                    i,
+                    arena.row(i).copy(),
+                    np.random.default_rng(seed + i),
+                    session=0,
+                )
+                for i in range(N_NODES)
+            ]
+
+        def load_arena(dtype):
+            arena = StateArena(layout, N_NODES, dtype=dtype)
+            for i in range(N_NODES):
+                arena.load_state(
+                    i,
+                    {
+                        k: v + 0.05 * rng.normal(size=v.shape)
+                        for k, v in template.items()
+                    },
+                )
+            return arena
+
+        arena64 = load_arena(np.float64)
+        for (serial_vec, _), (batched_vec, _) in zip(
+            serial.train_batch(make_tasks(arena64, 0)),
+            batched.train_batch(make_tasks(arena64, 0)),
+        ):
+            np.testing.assert_array_equal(serial_vec, batched_vec)
+        assert batched.fallback_counts == {}, batched.fallback_counts
+
+        arena32 = load_arena(np.float32)
+        serial_time = _best_of(
+            lambda: serial.train_batch(make_tasks(arena32, 1)), reps=5
+        )
+        batched_time = run_once(
+            benchmark,
+            lambda: _best_of(
+                lambda: batched.train_batch(make_tasks(arena32, 1)), reps=5
+            ),
+        )
+        speedup = serial_time / batched_time
+        _record(
+            "dp_training", N_NODES,
+            serial_ms=serial_time * 1e3, batched_ms=batched_time * 1e3,
+        )
+        print_series(
+            "dp training ms (per-row, batched)",
+            [serial_time * 1e3, batched_time * 1e3],
+        )
+        print(f"vectorized DP-SGD speedup: {speedup:.1f}x")
+        assert speedup >= 2.0, (
+            f"vectorized DP-SGD only {speedup:.1f}x faster than the "
+            f"per-row serial executor (required: 2x)"
+        )
+
+
 class TestShardedThroughput:
     """The PR 4 scale-out gate: partitioning arena rows across shard
     workers over the zero-copy shared arena must beat the
@@ -506,6 +607,170 @@ class TestShardedThroughput:
         assert speedup >= 1.5, (
             f"sharded training only {speedup:.1f}x faster than the "
             f"batched executor at {N_NODES_SHARDED} nodes with "
+            f"{n_shards} shards (required: 1.5x)"
+        )
+
+
+class TestObserverThroughput:
+    """The PR 6 observer gate: under executor="sharded" the round
+    observation (global accuracy + member/non-member MPE scores per
+    node) runs on the shard workers against their own arena rows,
+    instead of the parent re-reading all of them."""
+
+    def _setup(self, dtype):
+        builder = partial(
+            build_model, "mlp", in_features=96, num_classes=100,
+            hidden=(48, 24),
+        )
+        model = builder()
+        template = get_state(model)
+        layout = StateLayout.from_state(template)
+        train, _ = make_synthetic_tabular_dataset(
+            "bench", 2600, 100, num_features=96, num_classes=100, seed=3
+        )
+        splits = make_node_splits(
+            train, N_NODES, train_per_node=32, test_per_node=4, seed=3
+        )
+        config = TrainerConfig(learning_rate=0.05, batch_size=8)
+        arena = StateArena(layout, N_NODES, dtype=dtype, shared=True)
+        rng = np.random.default_rng(29)
+        for i in range(N_NODES):
+            arena.load_state(
+                i,
+                {
+                    k: v + 0.05 * rng.normal(size=v.shape)
+                    for k, v in template.items()
+                },
+            )
+        x_global = rng.normal(size=(64, 96)).astype(dtype)
+        y_global = rng.integers(0, 100, size=64)
+        attack = {
+            i: (
+                rng.normal(size=(16, 96)).astype(dtype),
+                rng.integers(0, 100, size=16),
+                rng.normal(size=(16, 96)).astype(dtype),
+                rng.integers(0, 100, size=16),
+            )
+            for i in range(N_NODES)
+        }
+        return builder, model, layout, splits, config, arena, (
+            x_global, y_global, attack,
+        )
+
+    @staticmethod
+    def _parent_round(evaluator, params, x_global, y_global, attack):
+        rows = list(range(N_NODES))
+        global_acc = evaluator.accuracy_rows(params, x_global, y_global)
+        obs = evaluator.attack_observations(
+            params,
+            [attack[i][0] for i in rows] + [attack[i][2] for i in rows],
+            [attack[i][1] for i in rows] + [attack[i][3] for i in rows],
+            rows=rows * 2,
+        )
+        return global_acc, obs[:N_NODES], obs[N_NODES:]
+
+    def test_sharded_observation_matches_parent(self, benchmark):
+        """Scores coming back over the wire must agree with the
+        parent's row-batch path at 1e-9 on the float64 arena. Also
+        records the parent-path wall clock as the observer baseline
+        (the sharded race needs >= 2 CPUs, see below)."""
+        builder, model, layout, splits, config, arena, workload = (
+            self._setup(np.float64)
+        )
+        x_global, y_global, attack = workload
+        sharded = ShardedExecutor(
+            builder, config, layout, splits, arena, n_shards=2
+        )
+        evaluator = BatchedEvaluator(model, layout=layout)
+        try:
+            sharded.observe_init(x_global, y_global, attack)
+            raw = sharded.observe(
+                {i: (None, None) for i in range(N_NODES)}
+            )
+            global_acc, train_obs, test_obs = self._parent_round(
+                evaluator, arena.data, x_global, y_global, attack
+            )
+            for i in range(N_NODES):
+                member, nonmember, train_acc, test_acc, g_acc = raw[i]
+                np.testing.assert_allclose(
+                    member, train_obs[i][0], atol=1e-9
+                )
+                np.testing.assert_allclose(
+                    nonmember, test_obs[i][0], atol=1e-9
+                )
+                np.testing.assert_allclose(g_acc, global_acc[i], atol=1e-12)
+                np.testing.assert_allclose(
+                    train_acc, train_obs[i][1], atol=1e-12
+                )
+                np.testing.assert_allclose(
+                    test_acc, test_obs[i][1], atol=1e-12
+                )
+            parent_time = run_once(
+                benchmark,
+                lambda: _best_of(
+                    lambda: self._parent_round(
+                        evaluator, arena.data, x_global, y_global, attack
+                    ),
+                    reps=5,
+                ),
+            )
+        finally:
+            sharded.close()
+            arena.release()
+        _record("observer", N_NODES, parent_ms=parent_time * 1e3)
+        print_series("observer parent ms", [parent_time * 1e3])
+
+    def test_sharded_observation_at_least_1_5x_faster(self, benchmark):
+        """Parent row-batch observation vs >= 2 shard workers scoring
+        their own rows in parallel, at 64 nodes on the float32 arena;
+        requires real cores."""
+        cpus = os.cpu_count() or 1
+        if cpus < 2:
+            pytest.skip(
+                "sharded-vs-parent observation timing needs >= 2 CPUs; "
+                f"this machine has {cpus}"
+            )
+        n_shards = min(4, cpus)
+        builder, model, layout, splits, config, arena, workload = (
+            self._setup(np.float32)
+        )
+        x_global, y_global, attack = workload
+        sharded = ShardedExecutor(
+            builder, config, layout, splits, arena, n_shards=n_shards
+        )
+        evaluator = BatchedEvaluator(model, layout=layout)
+        plans = {i: (None, None) for i in range(N_NODES)}
+        try:
+            sharded.observe_init(x_global, y_global, attack)
+            sharded.observe(plans)  # warm up workers
+            parent_time = _best_of(
+                lambda: self._parent_round(
+                    evaluator, arena.data, x_global, y_global, attack
+                ),
+                reps=5,
+            )
+            sharded_time = run_once(
+                benchmark,
+                lambda: _best_of(lambda: sharded.observe(plans), reps=5),
+            )
+        finally:
+            sharded.close()
+            arena.release()
+        speedup = parent_time / sharded_time
+        _record(
+            "observer", N_NODES,
+            parent_ms=parent_time * 1e3,
+            sharded_ms=sharded_time * 1e3,
+            n_shards=n_shards,
+        )
+        print_series(
+            "observer ms (parent, sharded)",
+            [parent_time * 1e3, sharded_time * 1e3],
+        )
+        print(f"sharded observation speedup: {speedup:.1f}x ({n_shards} shards)")
+        assert speedup >= 1.5, (
+            f"sharded observation only {speedup:.1f}x faster than the "
+            f"parent row-batch path at {N_NODES} nodes with "
             f"{n_shards} shards (required: 1.5x)"
         )
 

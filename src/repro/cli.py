@@ -44,6 +44,9 @@ def _add_study_parser(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--beta", type=float, default=None,
                    help="Dirichlet concentration for non-iid splits")
     p.add_argument("--dp-epsilon", type=float, default=None)
+    p.add_argument("--dropout", type=float, default=0.0,
+                   help="dropout probability for the MLP hidden layers "
+                        "(counter-based mask streams; batchable)")
     p.add_argument("--canaries", type=int, default=0)
     p.add_argument("--drop-prob", type=float, default=0.0)
     p.add_argument("--failure-prob", type=float, default=0.0)
@@ -106,6 +109,7 @@ def _run_study(args: argparse.Namespace) -> int:
             "dynamic": args.dynamic,
             "beta": args.beta,
             "dp_epsilon": args.dp_epsilon,
+            "dropout": args.dropout,
             "n_canaries": args.canaries,
             "drop_prob": args.drop_prob,
             "failure_prob": args.failure_prob,

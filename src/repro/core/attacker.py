@@ -15,11 +15,14 @@ read as one ``(n_nodes, dim)`` matrix (``simulator.state_matrix()`` —
 the live arena under the flat engine, a one-shot pack under the legacy
 dict engine) and scored in blocked numpy ops by a
 :class:`~repro.metrics.evaluation.BatchedEvaluator`, in the matrix
-dtype. The legacy per-node loop (reload each state into the workspace
-model) is kept for architectures without a batched forward and for
-reference comparisons (``eval_batch=-1``); both paths consume the
-observer RNG in the same order, so they agree up to float-associativity
-tolerance.
+dtype. When the simulator runs a sharded executor, observation rides
+the same shard workers: each scores its own arena rows in place
+(evaluation + MPE scoring never cross a pipe) and the parent merges the
+per-row results into reports. The legacy per-node loop (reload each
+state into the workspace model) is kept for architectures without a
+batched forward and for reference comparisons (``eval_batch=-1``); all
+paths consume the observer RNG in the same order, so they agree up to
+float-associativity tolerance.
 """
 
 from __future__ import annotations
@@ -58,8 +61,11 @@ class _AttackPlan:
 
     Drawn node by node in the exact RNG order of the per-node loop
     (train subsample, test subsample, then the balancing draws that
-    ``build_attack_data`` would make), so the batched and per-node
-    paths see identical attack sets.
+    ``build_attack_data`` would make), so the batched, sharded and
+    per-node paths see identical attack sets. The subsample *index*
+    arrays (``None`` = whole split) are kept alongside the materialized
+    arrays: the sharded observer ships only the indices, since workers
+    hold the full attack arrays from ``observe_init``.
     """
 
     x_train: np.ndarray
@@ -68,6 +74,8 @@ class _AttackPlan:
     y_test: np.ndarray
     balance_train: np.ndarray | None
     balance_test: np.ndarray | None
+    train_idx: np.ndarray | None = None
+    test_idx: np.ndarray | None = None
 
 
 class OmniscientObserver:
@@ -143,7 +151,11 @@ class OmniscientObserver:
         # spread (under the dict engine each read re-packs every node).
         params = simulator.state_matrix(self._get_layout())
         if self._batched:
-            evaluations = self._evaluate_all_batched(simulator, params)
+            sharded = self._sharded_executor(simulator)
+            if sharded is not None:
+                evaluations = self._evaluate_all_sharded(simulator, sharded)
+            else:
+                evaluations = self._evaluate_all_batched(simulator, params)
         else:
             evaluations = [
                 self._evaluate_node(simulator, node_id)
@@ -187,6 +199,16 @@ class OmniscientObserver:
             self._layout = StateLayout.from_model(self.model)
         return self._layout
 
+    @staticmethod
+    def _sharded_executor(simulator: GossipSimulator):
+        """The simulator's live sharded executor, if observation can
+        ride on it (flat engine, executor="sharded"); None otherwise."""
+        getter = getattr(simulator, "executor", None)
+        if getter is None:
+            return None
+        executor = getter()
+        return executor if hasattr(executor, "observe") else None
+
     def _get_evaluator(self) -> BatchedEvaluator:
         if self._evaluator is None:
             self._evaluator = BatchedEvaluator(
@@ -204,10 +226,24 @@ class OmniscientObserver:
         idx = self.rng.choice(x.shape[0], size=self.max_attack_samples, replace=False)
         return x[idx], y[idx]
 
+    def _subsample_idx(self, n: int) -> np.ndarray | None:
+        """Index form of :meth:`_subsample` (same RNG consumption)."""
+        if n <= self.max_attack_samples:
+            return None
+        return self.rng.choice(n, size=self.max_attack_samples, replace=False)
+
     def _draw_plan(self, node) -> _AttackPlan:
         """Pre-draw one node's attack inputs (RNG-order compatible)."""
-        x_tr, y_tr = self._subsample(node.train_x, node.train_y)
-        x_te, y_te = self._subsample(node.test_x, node.test_y)
+        tr_idx = self._subsample_idx(node.train_x.shape[0])
+        te_idx = self._subsample_idx(node.test_x.shape[0])
+        if tr_idx is None:
+            x_tr, y_tr = node.train_x, node.train_y
+        else:
+            x_tr, y_tr = node.train_x[tr_idx], node.train_y[tr_idx]
+        if te_idx is None:
+            x_te, y_te = node.test_x, node.test_y
+        else:
+            x_te, y_te = node.test_x[te_idx], node.test_y[te_idx]
         m = min(x_tr.shape[0], x_te.shape[0])
         if m == 0:
             raise ValueError("need at least one member and one non-member score")
@@ -221,7 +257,9 @@ class OmniscientObserver:
             if x_te.shape[0] > m
             else None
         )
-        return _AttackPlan(x_tr, y_tr, x_te, y_te, balance_tr, balance_te)
+        return _AttackPlan(
+            x_tr, y_tr, x_te, y_te, balance_tr, balance_te, tr_idx, te_idx
+        )
 
     def _evaluate_all_batched(
         self, simulator: GossipSimulator, params: np.ndarray
@@ -239,12 +277,73 @@ class OmniscientObserver:
             rows=list(range(len(plans))) * 2,
         )
         train_obs, test_obs = obs[: len(plans)], obs[len(plans) :]
+        return self._finalize_evaluations(
+            plans,
+            member_raw=[o[0] for o in train_obs],
+            nonmember_raw=[o[0] for o in test_obs],
+            global_acc=[float(a) for a in global_acc],
+            train_acc=[o[1] for o in train_obs],
+            test_acc=[o[1] for o in test_obs],
+        )
+
+    def _evaluate_all_sharded(
+        self, simulator: GossipSimulator, executor
+    ) -> list[ModelEvaluation]:
+        """Score every node on its own shard worker; merge reports here.
+
+        The plans are drawn in node order before anything is shipped,
+        so the observer RNG advances exactly as on the batched path;
+        workers receive only the subsample index arrays and return raw
+        score vectors and accuracies for their own arena rows.
+        """
+        plans = [self._draw_plan(node) for node in simulator.nodes]
+        if not getattr(executor, "_observe_ready", False):
+            executor.observe_init(
+                self.x_global,
+                self.y_global,
+                {
+                    node_id: (
+                        node.train_x,
+                        node.train_y,
+                        node.test_x,
+                        node.test_y,
+                    )
+                    for node_id, node in enumerate(simulator.nodes)
+                },
+                eval_batch=max(self.eval_batch, 0),
+            )
+        raw = executor.observe(
+            {
+                node_id: (plan.train_idx, plan.test_idx)
+                for node_id, plan in enumerate(plans)
+            }
+        )
+        ordered = [raw[node_id] for node_id in range(len(plans))]
+        return self._finalize_evaluations(
+            plans,
+            member_raw=[r[0] for r in ordered],
+            nonmember_raw=[r[1] for r in ordered],
+            global_acc=[r[4] for r in ordered],
+            train_acc=[r[2] for r in ordered],
+            test_acc=[r[3] for r in ordered],
+        )
+
+    def _finalize_evaluations(
+        self,
+        plans: list[_AttackPlan],
+        member_raw: list[np.ndarray],
+        nonmember_raw: list[np.ndarray],
+        global_acc: list[float],
+        train_acc: list[float],
+        test_acc: list[float],
+    ) -> list[ModelEvaluation]:
+        """Balance raw scores, batch the MIA reports, build evaluations."""
         members: list[np.ndarray] = []
         nonmembers: list[np.ndarray] = []
         groups: dict[int, list[int]] = {}
         for node_id, plan in enumerate(plans):
-            member_scores = train_obs[node_id][0]
-            nonmember_scores = test_obs[node_id][0]
+            member_scores = member_raw[node_id]
+            nonmember_scores = nonmember_raw[node_id]
             if plan.balance_train is not None:
                 member_scores = member_scores[plan.balance_train]
             if plan.balance_test is not None:
@@ -267,9 +366,9 @@ class OmniscientObserver:
         return [
             ModelEvaluation(
                 node_id=node_id,
-                global_test_accuracy=float(global_acc[node_id]),
-                local_train_accuracy=train_obs[node_id][1],
-                local_test_accuracy=test_obs[node_id][1],
+                global_test_accuracy=global_acc[node_id],
+                local_train_accuracy=train_acc[node_id],
+                local_test_accuracy=test_acc[node_id],
                 mia_accuracy=report.accuracy,
                 mia_tpr_at_1_fpr=report.tpr_at_1_fpr,
                 mia_auc=report.auc,

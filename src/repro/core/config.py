@@ -125,6 +125,8 @@ class ModelConfig(ConfigGroup):
     batch_size: int = 32
     label_smoothing: float = 0.0
     lr_decay: float = 1.0
+    dropout: float = 0.0
+    dropout_mode: str = "stream"
 
     def __post_init__(self) -> None:
         if isinstance(self.mlp_hidden, list):
@@ -142,6 +144,10 @@ class ModelConfig(ConfigGroup):
             raise ValueError("label_smoothing must be in [0, 1)")
         if not 0.0 < self.lr_decay <= 1.0:
             raise ValueError("lr_decay must be in (0, 1]")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ValueError("dropout must be in [0, 1)")
+        if self.dropout_mode not in ("stream", "legacy"):
+            raise ValueError("dropout_mode must be 'stream' or 'legacy'")
 
 
 @dataclass(frozen=True)

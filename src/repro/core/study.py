@@ -141,6 +141,11 @@ class StudyConfig:
     # Early-overfitting mitigations (Section 5 recommendations).
     label_smoothing: float = 0.0
     lr_decay: float = 1.0
+    # Dropout regularization (MLP only). Mask streams are counter-based
+    # (keyed by node/session/step) so dropout stays on the fast path;
+    # "legacy" restores the stateful per-layer generator.
+    dropout: float = 0.0
+    dropout_mode: str = "stream"
     # Differential privacy (RQ7). ``dp_epsilon`` of None disables DP.
     dp_epsilon: float | None = None
     dp_delta: float = 1e-5
@@ -391,6 +396,8 @@ class Study:
             width=cfg.model_width,
             hidden=cfg.mlp_hidden,
             seed=cfg.seed,
+            dropout=cfg.dropout,
+            dropout_mode=cfg.dropout_mode,
         )
         self.model = self.model_builder()
         self.initial_state = get_state(self.model)
@@ -500,7 +507,10 @@ class Study:
             target_delta=cfg.dp_delta,
         )
         trainer = self.protocol.trainer
-        trainer.config = replace(trainer.config, dp=dp_config)
+        # Through the simulator so the swap revalidates and reaches the
+        # live executor (batched trainer, process pool, shard workers)
+        # instead of relying on each path re-reading trainer.config.
+        self.simulator.set_trainer_config(replace(trainer.config, dp=dp_config))
         self.protocol.max_updates_per_node = planned_updates
         self._dp_q = q
         self._sigma = sigma
@@ -586,9 +596,12 @@ class Study:
                 "shard_partition": self.config.shard_partition,
                 "train_batch": self.config.train_batch,
                 "eval_batch": self.config.eval_batch,
+                "dropout": self.config.dropout,
+                "dropout_mode": self.config.dropout_mode,
                 "messages_dropped": self.simulator.messages_dropped,
                 "wakes_skipped": self.simulator.wakes_skipped,
                 "messages_undelivered": self.simulator.messages_undelivered,
+                "fallback_counts": self.simulator.fallback_counts(),
             },
         )
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import heapq
 import os
+from collections import Counter
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
@@ -54,6 +55,7 @@ __all__ = [
     "ProcessExecutor",
     "BatchedExecutor",
     "FlatGossipSimulator",
+    "fallback_reason",
     "make_simulator",
 ]
 
@@ -232,9 +234,45 @@ def _train_task(
     """Run one local update on a workspace trainer; shared by executors."""
     x, y = splits[task.node_id]
     state = layout.unpack(task.vector)
-    new_state = trainer.train(state, x, y, task.rng, session=task.session)
+    # node_id keys the dropout mask streams; session bookkeeping stays
+    # with the engine (an explicit session bypasses trainer inference).
+    new_state = trainer.train(
+        state, x, y, task.rng, node_id=task.node_id, session=task.session
+    )
     out = layout.pack(new_state, dtype=task.vector.dtype)
     return out, task.rng
+
+
+def fallback_reason(
+    task: UpdateTask,
+    *,
+    supported: bool,
+    block_size: int,
+    n_samples: int,
+) -> str | None:
+    """Why ``task`` cannot ride the blocked fast path (None = it can).
+
+    The single source of truth for the per-row fallback predicate,
+    shared by :class:`BatchedExecutor` and the shard workers. Reasons:
+
+    * ``"no_batched_backward"`` — the model has a layer without a
+      blocked train-mode backward (e.g. legacy-mode dropout).
+    * ``"forced_per_row"`` — ``train_batch == -1`` explicitly disables
+      blocking.
+    * ``"empty_split"`` — the node owns no training samples (the
+      trainer no-ops).
+
+    DP-SGD and stream-mode dropout are deliberately NOT reasons: both
+    ride the blocked path since the vectorized per-sample-gradient
+    refactor.
+    """
+    if not supported:
+        return "no_batched_backward"
+    if block_size == -1:
+        return "forced_per_row"
+    if n_samples == 0:
+        return "empty_split"
+    return None
 
 
 class Executor:
@@ -245,15 +283,32 @@ class Executor:
     to False: the engine hands them live row views instead of per-task
     row copies, and in exchange the executor must write result vectors
     into the arena rows itself (the engine skips the copy-back).
+
+    ``fallback_counts`` tallies per-row slow-path hits by
+    :func:`fallback_reason`; backends with no blocked path leave it
+    empty.
     """
 
     name = "abstract"
     copies_task_vectors = True
 
+    def __init__(self) -> None:
+        self.fallback_counts: Counter[str] = Counter()
+
     def train_batch(
         self, tasks: list[UpdateTask]
     ) -> list[tuple[np.ndarray, np.random.Generator]]:
         raise NotImplementedError
+
+    def set_config(self, config: TrainerConfig) -> None:
+        """Swap the trainer config on this backend (validated upstream).
+
+        The default reaches the in-process trainer; backends owning
+        remote workers override to propagate the swap.
+        """
+        trainer = getattr(self, "trainer", None)
+        if trainer is not None:
+            trainer.set_config(config)
 
     def close(self) -> None:  # pragma: no cover - trivial default
         pass
@@ -270,6 +325,7 @@ class SerialExecutor(Executor):
         layout: StateLayout,
         splits: Sequence[NodeSplit] | SplitArrays,
     ):
+        super().__init__()
         self.trainer = trainer
         self.layout = layout
         self.splits = as_split_arrays(splits)
@@ -292,9 +348,11 @@ class BatchedExecutor(Executor):
     counterpart of the PR-2 batched evaluator. Tasks are grouped by
     local-sample count (lockstep mini-batch geometry); ``train_batch``
     caps the rows per block (0 = one block per group, N > 0 = chunks of
-    N, -1 = force the per-row path). Rows the blocked path cannot take
-    — DP-SGD, models without a batched backward, empty splits — fall
-    back to the shared workspace trainer, so results match
+    N, -1 = force the per-row path). DP-SGD rides the blocked path
+    (vectorized per-sample gradients) and so does stream-mode dropout
+    (counter-based mask streams); the remaining per-row fallbacks —
+    see :func:`fallback_reason` — run on the shared workspace trainer
+    and are tallied in ``fallback_counts``. Results match
     :class:`SerialExecutor` bit for bit on float64 arenas (and within
     rounding on float32, where the blocked path stays in float32).
     """
@@ -308,15 +366,16 @@ class BatchedExecutor(Executor):
         splits: Sequence[NodeSplit] | SplitArrays,
         train_batch: int = 0,
     ):
+        super().__init__()
         if train_batch < -1:
             raise ValueError("train_batch must be >= -1")
         self.trainer = trainer
         self.layout = layout
         self.splits = as_split_arrays(splits)
         self.block_size = train_batch
-        # Models without a batched backward (e.g. stochastic dropout)
-        # run entirely on the per-row fallback; constructing the
-        # blocked trainer would raise for them.
+        # Models without a batched backward (legacy-mode dropout) run
+        # entirely on the per-row fallback; constructing the blocked
+        # trainer would raise for them.
         self._supported = supports_batched_backward(trainer.model)
         self.batched = (
             BatchedTrainer(trainer.model, trainer.config, layout)
@@ -324,11 +383,16 @@ class BatchedExecutor(Executor):
             else None
         )
 
+    def set_config(self, config: TrainerConfig) -> None:
+        self.trainer.set_config(config)
+        if self.batched is not None:
+            self.batched.set_config(config)
+
     def train_batch(
         self, tasks: list[UpdateTask]
     ) -> list[tuple[np.ndarray, np.random.Generator]]:
-        # Config may have been swapped after construction (DP install
-        # replaces the dataclass on the shared trainer); re-read it.
+        # Config may have been swapped after construction (legacy
+        # direct-assignment path); re-read it.
         config = self.trainer.config
         if self.batched is not None:
             self.batched.config = config
@@ -337,12 +401,14 @@ class BatchedExecutor(Executor):
         fallback: list[int] = []
         for i, task in enumerate(tasks):
             n = self.splits[task.node_id][0].shape[0]
-            if (
-                config.dp is not None
-                or not self._supported
-                or self.block_size == -1
-                or n == 0
-            ):
+            reason = fallback_reason(
+                task,
+                supported=self._supported,
+                block_size=self.block_size,
+                n_samples=n,
+            )
+            if reason is not None:
+                self.fallback_counts[reason] += 1
                 fallback.append(i)
             else:
                 groups.setdefault(n, []).append(i)
@@ -357,6 +423,7 @@ class BatchedExecutor(Executor):
                     [self.splits[tasks[i].node_id][1] for i in chunk],
                     [tasks[i].rng for i in chunk],
                     [tasks[i].session for i in chunk],
+                    node_ids=[tasks[i].node_id for i in chunk],
                 )
                 for j, i in enumerate(chunk):
                     results[i] = (block[j], tasks[i].rng)
@@ -409,25 +476,52 @@ class ProcessExecutor(Executor):
         splits: Sequence[NodeSplit],
         n_workers: int = 0,
     ):
+        super().__init__()
         if model_builder is None:
             raise ValueError(
                 "the process executor needs a picklable model_builder "
                 "(e.g. functools.partial(build_model, ...)) to construct "
                 "per-worker workspace models"
             )
+        self._model_builder = model_builder
+        self._trainer_config = trainer_config
+        self._layout = layout
+        self._split_arrays = [(s.train.x, s.train.y) for s in splits]
+        self._n_workers = n_workers
+        self._pool = self._make_pool()
+
+    def _make_pool(self):
         from concurrent.futures import ProcessPoolExecutor
 
-        workers = n_workers or min(os.cpu_count() or 1, 8)
-        self._pool = ProcessPoolExecutor(
+        workers = self._n_workers or min(os.cpu_count() or 1, 8)
+        return ProcessPoolExecutor(
             max_workers=workers,
             initializer=_worker_init,
             initargs=(
-                model_builder,
-                trainer_config,
-                layout,
-                [(s.train.x, s.train.y) for s in splits],
+                self._model_builder,
+                self._trainer_config,
+                self._layout,
+                self._split_arrays,
             ),
         )
+
+    def set_config(self, config: TrainerConfig) -> None:
+        """Propagate a config swap by recycling the worker pool.
+
+        Workers receive the config once at initialization, so an
+        in-place swap must rebuild them; rare enough (DP installation)
+        that the restart cost is irrelevant.
+        """
+        if config == self._trainer_config:
+            return
+        if not isinstance(config, TrainerConfig):
+            raise TypeError(
+                f"expected TrainerConfig, got {type(config).__name__}"
+            )
+        self._trainer_config = config
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = self._make_pool()
 
     def train_batch(
         self, tasks: list[UpdateTask]
@@ -552,6 +646,23 @@ class FlatGossipSimulator(GossipSimulator):
             else:
                 self._executor = SerialExecutor(trainer, self.layout, splits)
         return self._executor
+
+    def set_trainer_config(self, config: TrainerConfig) -> None:
+        """Swap the trainer config, propagating to a live executor.
+
+        The supported mid-run config path (e.g. DP installation): the
+        shared trainer revalidates, and an already-built executor
+        forwards the swap to its blocked trainer / worker processes.
+        """
+        self.protocol.trainer.set_config(config)
+        if self._executor is not None:
+            self._executor.set_config(config)
+
+    def fallback_counts(self) -> dict[str, int]:
+        """Per-reason tallies of rows that left the blocked fast path."""
+        if self._executor is None:
+            return {}
+        return dict(self._executor.fallback_counts)
 
     def close(self) -> None:
         """Release executor resources (worker processes and shared

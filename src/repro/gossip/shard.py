@@ -12,8 +12,17 @@ PR 3 batched training kernels over its rows in place.
 Per tick, a shard receives only ``(row_index, session, rng_state)``
 triples — never a state vector. Workers read their rows straight out of
 the shared segment, train, and write results straight back; the only
-payload returned is each task's advanced generator state. That is the
-zero-copy contract: task traffic is O(tasks), not O(tasks * dim).
+payload returned is each task's advanced generator state (plus the
+delta of per-row fallback counts, a tiny dict). That is the zero-copy
+contract: task traffic is O(tasks), not O(tasks * dim).
+
+The same workers double as **observer shards**: after a one-time
+``observe_init`` that ships the fixed global-test subsample and each
+row's attack arrays, a per-round ``observe`` message carries only
+subsample index arrays. Each worker scores its own arena rows with a
+:class:`~repro.metrics.evaluation.BatchedEvaluator` (evaluation and MPE
+scoring never leave the shard) and replies with per-row score vectors
+and accuracies; the parent merges, balances, and builds the reports.
 
 Determinism: each task travels with its node's exact generator state
 and lr_decay session index, and every shard trains through the same
@@ -43,6 +52,7 @@ from repro.gossip.engine import (
     as_split_arrays,
 )
 from repro.gossip.trainer import LocalTrainer, TrainerConfig
+from repro.metrics.evaluation import BatchedEvaluator
 from repro.nn.flat import SharedArena, StateLayout
 from repro.nn.layers import Module
 
@@ -52,6 +62,8 @@ __all__ = ["RowPartitioner", "ShardedExecutor"]
 _MAX_AUTO_SHARDS = 8
 
 _TRAIN = "train"
+_OBSERVE_INIT = "observe_init"
+_OBSERVE = "observe"
 _STOP = "stop"
 
 
@@ -159,10 +171,16 @@ def _shard_worker(
 
     Attaches to the shared arena once, builds its workspace trainer and
     a :class:`BatchedExecutor` over its split slice once, then serves
-    ``("train", items)`` requests until told to stop: rebuild each
-    task's generator, train (blocked where possible, per-row fallback
-    otherwise), write result rows into the shared segment, and reply
-    with the advanced generator states.
+    requests until told to stop:
+
+    * ``("train", items, config_or_None)`` — rebuild each task's
+      generator, train (blocked where possible, per-row fallback
+      otherwise), write result rows into the shared segment, and reply
+      with the advanced generator states plus the fallback-count delta;
+    * ``("observe_init", payload)`` — store the observation inputs and
+      build the shard's :class:`BatchedEvaluator` once;
+    * ``("observe", items)`` — score this shard's rows against the live
+      arena and reply with per-row scores and accuracies.
     """
     arena = None
     try:
@@ -171,17 +189,41 @@ def _shard_worker(
         executor = BatchedExecutor(
             trainer, layout, split_arrays, train_batch=train_batch
         )
+        evaluator = None
+        observe_state: dict = {}
         while True:
             message = conn.recv()
             if message[0] == _STOP:
                 break
+            if message[0] == _OBSERVE_INIT:
+                x_global, y_global, attack_arrays, eval_batch = message[1]
+                observe_state = {
+                    "x_global": x_global,
+                    "y_global": y_global,
+                    "attack": attack_arrays,
+                }
+                evaluator = BatchedEvaluator(
+                    trainer.model, layout=layout, eval_batch=eval_batch
+                )
+                conn.send(("ok", None))
+                continue
+            if message[0] == _OBSERVE:
+                conn.send(
+                    (
+                        "ok",
+                        _observe_rows(
+                            evaluator, observe_state, arena, message[1]
+                        ),
+                    )
+                )
+                continue
             _, items, new_config = message
             if new_config is not None:
                 # The shared trainer's config was swapped after this
                 # worker spawned (DP install does that); mirror it —
                 # the internal BatchedExecutor re-reads trainer.config
                 # on every call, exactly like the single-process path.
-                trainer.config = new_config
+                trainer.set_config(new_config)
             tasks = [
                 UpdateTask(
                     node_id,
@@ -194,13 +236,18 @@ def _shard_worker(
             results = executor.train_batch(tasks)
             for task, (vector, _) in zip(tasks, results):
                 arena.data[task.node_id][...] = vector
+            fallback_delta = dict(executor.fallback_counts)
+            executor.fallback_counts.clear()
             conn.send(
                 (
                     "ok",
-                    [
-                        (task.node_id, task.rng.bit_generator.state)
-                        for task in tasks
-                    ],
+                    (
+                        [
+                            (task.node_id, task.rng.bit_generator.state)
+                            for task in tasks
+                        ],
+                        fallback_delta,
+                    ),
                 )
             )
     except EOFError:  # pragma: no cover - parent vanished mid-recv
@@ -214,6 +261,56 @@ def _shard_worker(
         if arena is not None:
             arena.close()
         conn.close()
+
+
+def _observe_rows(
+    evaluator: BatchedEvaluator | None,
+    state: dict,
+    arena: SharedArena,
+    items: list[tuple],
+) -> list[tuple]:
+    """Score one shard's rows for one observation round.
+
+    ``items`` holds ``(row, train_idx, test_idx)`` triples — the
+    subsample index arrays the parent drew from the observer RNG
+    (``None`` means the whole split). Models are read straight out of
+    the live arena; only score vectors and accuracy floats go back.
+    """
+    if evaluator is None:
+        raise RuntimeError("observe message before observe_init")
+    rows = [row for row, _, _ in items]
+    xs_train: list[np.ndarray] = []
+    ys_train: list[np.ndarray] = []
+    xs_test: list[np.ndarray] = []
+    ys_test: list[np.ndarray] = []
+    for row, train_idx, test_idx in items:
+        train_x, train_y, test_x, test_y = state["attack"][row]
+        if train_idx is not None:
+            train_x, train_y = train_x[train_idx], train_y[train_idx]
+        if test_idx is not None:
+            test_x, test_y = test_x[test_idx], test_y[test_idx]
+        xs_train.append(train_x)
+        ys_train.append(train_y)
+        xs_test.append(test_x)
+        ys_test.append(test_y)
+    params = arena.data
+    own = params[np.asarray(rows, dtype=np.intp)]
+    global_acc = evaluator.accuracy_rows(own, state["x_global"], state["y_global"])
+    obs = evaluator.attack_observations(
+        params, xs_train + xs_test, ys_train + ys_test, rows=rows + rows
+    )
+    n = len(rows)
+    return [
+        (
+            row,
+            obs[i][0],  # member MPE scores
+            obs[n + i][0],  # non-member MPE scores
+            obs[i][1],  # local-train accuracy
+            obs[n + i][1],  # local-test accuracy
+            float(global_acc[i]),
+        )
+        for i, row in enumerate(rows)
+    ]
 
 
 def _mp_context():
@@ -276,6 +373,7 @@ class ShardedExecutor(Executor):
                 "(StateArena(..., shared=True)); a private arena's rows "
                 "are invisible to shard workers"
             )
+        super().__init__()
         split_arrays = as_split_arrays(splits)
         n_rows = arena.n_nodes
         requested = n_shards or min(
@@ -302,7 +400,9 @@ class ShardedExecutor(Executor):
         # swaps made after construction (the batched executor re-reads
         # trainer.config per call; shards get the delta pushed).
         self._trainer = trainer
+        self._config_override: TrainerConfig | None = None
         self._shard_config: list[TrainerConfig] = []
+        self._observe_ready = False
         self._conns = []
         self._procs = []
         ctx = _mp_context()
@@ -330,6 +430,22 @@ class ShardedExecutor(Executor):
             self._procs.append(process)
             self._shard_config.append(trainer_config)
 
+    def set_config(self, config: TrainerConfig) -> None:
+        """Swap the trainer config; shards get it with their next batch.
+
+        Goes through the live trainer when the engine handed one over
+        (so the single-process side revalidates too); otherwise the new
+        config is stored and diff-pushed like any other swap.
+        """
+        if not isinstance(config, TrainerConfig):
+            raise TypeError(
+                f"expected a TrainerConfig, got {type(config).__name__}"
+            )
+        if self._trainer is not None:
+            self._trainer.set_config(config)
+        else:
+            self._config_override = config
+
     def train_batch(
         self, tasks: list[UpdateTask]
     ) -> list[tuple[np.ndarray, np.random.Generator]]:
@@ -338,7 +454,11 @@ class ShardedExecutor(Executor):
         by_shard: dict[int, list[int]] = {}
         for i, task in enumerate(tasks):
             by_shard.setdefault(int(self._shard_of[task.node_id]), []).append(i)
-        config = self._trainer.config if self._trainer is not None else None
+        config = (
+            self._trainer.config
+            if self._trainer is not None
+            else self._config_override
+        )
         # Fan out to every involved shard first; they train in
         # parallel while we collect replies in the same order.
         for shard, indices in by_shard.items():
@@ -361,7 +481,10 @@ class ShardedExecutor(Executor):
                 ) from None
         results: list = [None] * len(tasks)
         for shard, indices in by_shard.items():
-            for i, (node_id, rng_state) in zip(indices, self._recv(shard)):
+            rng_states, fallback_delta = self._recv(shard)
+            if fallback_delta:
+                self.fallback_counts.update(fallback_delta)
+            for i, (node_id, rng_state) in zip(indices, rng_states):
                 task = tasks[i]
                 if task.node_id != node_id:
                     raise RuntimeError(
@@ -373,6 +496,69 @@ class ShardedExecutor(Executor):
                 task.rng.bit_generator.state = rng_state
                 results[i] = (self._data[node_id], task.rng)
         return results
+
+    # -- sharded observation ------------------------------------------
+
+    def observe_init(
+        self,
+        x_global: np.ndarray,
+        y_global: np.ndarray,
+        attack_arrays: dict[int, tuple],
+        eval_batch: int = 0,
+    ) -> None:
+        """Ship the per-round-invariant observation inputs once.
+
+        ``attack_arrays`` maps every row to its full
+        ``(train_x, train_y, test_x, test_y)`` arrays; each shard only
+        receives its own rows' slice plus the (already subsampled)
+        global test set. After this, per-round ``observe`` traffic is
+        index arrays in, score vectors out.
+        """
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        for shard, rows in enumerate(self.shard_rows):
+            shard_arrays = {int(row): attack_arrays[int(row)] for row in rows}
+            self._conns[shard].send(
+                (_OBSERVE_INIT, (x_global, y_global, shard_arrays, eval_batch))
+            )
+        for shard in range(self.n_shards):
+            self._recv(shard)
+        self._observe_ready = True
+
+    def observe(
+        self, plans: dict[int, tuple[np.ndarray | None, np.ndarray | None]]
+    ) -> dict[int, tuple[np.ndarray, np.ndarray, float, float, float]]:
+        """Score every planned row on its own shard, against the live arena.
+
+        ``plans`` maps row -> ``(train_idx, test_idx)`` subsample index
+        arrays (``None`` = whole split), pre-drawn by the observer so
+        RNG consumption matches the single-process path. Returns
+        row -> ``(member_scores, nonmember_scores, train_accuracy,
+        test_accuracy, global_accuracy)`` with raw (unbalanced) score
+        vectors; balancing and report building stay with the caller.
+        """
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        if not self._observe_ready:
+            raise RuntimeError("observe() called before observe_init()")
+        involved = []
+        for shard, rows in enumerate(self.shard_rows):
+            items = [
+                (int(row), plans[int(row)][0], plans[int(row)][1])
+                for row in rows
+                if int(row) in plans
+            ]
+            if not items:
+                continue
+            self._conns[shard].send((_OBSERVE, items))
+            involved.append(shard)
+        out: dict[int, tuple] = {}
+        for shard in involved:
+            for row, member, nonmember, train_acc, test_acc, global_acc in (
+                self._recv(shard)
+            ):
+                out[row] = (member, nonmember, train_acc, test_acc, global_acc)
+        return out
 
     def _recv(self, shard: int):
         try:

@@ -299,6 +299,23 @@ class GossipSimulator:
         """Deliver messages due at the final tick (engine hook)."""
         self._deliver_due()
 
+    def set_trainer_config(self, config) -> None:
+        """Swap the shared trainer's config (validated, loss rebuilt).
+
+        The supported way to change hyperparameters mid-run (e.g. DP
+        installation); the flat engine additionally propagates the swap
+        to a live executor and its workers.
+        """
+        self.protocol.trainer.set_config(config)
+
+    def fallback_counts(self) -> dict[str, int]:
+        """Per-reason tallies of rows that left the blocked fast path.
+
+        The dict engine has no blocked path, so this is always empty;
+        the flat engine reports its executor's counters.
+        """
+        return {}
+
     def close(self) -> None:
         """Release engine resources (idempotent). No-op for the dict
         engine; the flat engine overrides it to shut down executor

@@ -15,14 +15,27 @@ import numpy as np
 
 from repro.nn.batched import (
     BatchedModel,
+    _Block,
+    named_leaf_modules,
     parameter_column_runs,
 )
 from repro.nn.flat import StateLayout
-from repro.nn.layers import Module
+from repro.nn.layers import (
+    BatchNorm2d,
+    Module,
+    mask_stream_rng,
+    stream_dropout_layers,
+)
 from repro.nn.loss import CrossEntropyLoss, batched_cross_entropy_grad
 from repro.nn.optim import SGD, BatchedSGD
+from repro.privacy.dp import (
+    DPSGDConfig,
+    clip_block,
+    clip_per_sample,
+    noisy_gradient,
+    noisy_gradient_block,
+)
 from repro.nn.serialize import State, get_state, set_state
-from repro.privacy.dp import DPSGDConfig, clip_per_sample, noisy_gradient
 
 __all__ = ["TrainerConfig", "LocalTrainer", "BatchedTrainer"]
 
@@ -72,6 +85,22 @@ class LocalTrainer:
         self.loss = CrossEntropyLoss(label_smoothing=config.label_smoothing)
         self.steps_taken = 0
         self._sessions: dict[int, int] = {}
+        self._stream_layers = stream_dropout_layers(model)
+
+    def set_config(self, config: TrainerConfig) -> None:
+        """Swap hyperparameters explicitly (validated, loss rebuilt).
+
+        The supported way to change config mid-run (e.g. DP
+        installation): the dataclass revalidates on construction and
+        the loss is rebuilt immediately instead of lazily on the next
+        ``train`` call.
+        """
+        if not isinstance(config, TrainerConfig):
+            raise TypeError(
+                f"expected TrainerConfig, got {type(config).__name__}"
+            )
+        self.config = config
+        self.loss = CrossEntropyLoss(label_smoothing=config.label_smoothing)
 
     def train(
         self,
@@ -120,15 +149,27 @@ class LocalTrainer:
             weight_decay=self.config.weight_decay,
         )
         n = x.shape[0]
+        node_key = node_id if node_id is not None else 0
+        step_idx = 0
         for _ in range(self.config.local_epochs):
             order = rng.permutation(n)
             for start in range(0, n, self.config.batch_size):
                 batch = order[start : start + self.config.batch_size]
+                # Stream-mode dropout: fresh counter-based generators
+                # per step, a pure function of (node, session, step) —
+                # the batched path derives the identical masks.
+                for li, layer in enumerate(self._stream_layers):
+                    layer.set_mask_rng(
+                        mask_stream_rng(
+                            layer.stream_seed, node_key, session, step_idx, li
+                        )
+                    )
                 if self.config.dp is None:
                     self._sgd_step(optimizer, x[batch], y[batch])
                 else:
                     self._dp_sgd_step(optimizer, x[batch], y[batch], rng)
                 self.steps_taken += 1
+                step_idx += 1
         return get_state(self.model)
 
     def _sgd_step(self, optimizer: SGD, xb: np.ndarray, yb: np.ndarray) -> None:
@@ -189,8 +230,10 @@ class BatchedTrainer:
 
     Constraints the caller (the batched executor) enforces by grouping:
     every row of a block must hold the same number of local samples
-    (lockstep mini-batch geometry), and DP-SGD or models without a
-    batched backward stay on the per-row path.
+    (lockstep mini-batch geometry); models without a batched backward
+    (e.g. legacy-mode dropout) stay on the per-row path. DP-SGD rides
+    the fast path via :meth:`_dp_train_block`, and stream-mode dropout
+    via per-row counter-based mask streams.
     """
 
     def __init__(
@@ -206,7 +249,55 @@ class BatchedTrainer:
         )
         self._batched = BatchedModel(model, self.layout)
         self._param_runs = parameter_column_runs(self.layout)
+        # Per-parameter column segments in named_parameters() order —
+        # the iteration order of the serial DP step, which the blocked
+        # norm fold and noise draws must reproduce exactly.
+        self._param_segments = [
+            (
+                self.layout.slot(name).offset,
+                self.layout.slot(name).offset + self.layout.slot(name).size,
+            )
+            for name, _ in model.named_parameters()
+        ]
+        self._stream_layers = stream_dropout_layers(model)
+        self._batchnorms = [
+            (prefix, m)
+            for prefix, m in named_leaf_modules(model)
+            if isinstance(m, BatchNorm2d)
+        ]
+        # Persistent (tile, grads) scratch per DP block shape — the
+        # tiled forward reallocating ~2 block-sized buffers per step
+        # costs more than the clip itself at MLP sizes.
+        self._dp_buffers: dict = {}
         self.steps_taken = 0
+
+    def set_config(self, config: TrainerConfig) -> None:
+        """Swap hyperparameters explicitly (validated)."""
+        if not isinstance(config, TrainerConfig):
+            raise TypeError(
+                f"expected TrainerConfig, got {type(config).__name__}"
+            )
+        self.config = config
+
+    def _install_mask_streams(
+        self,
+        node_ids: Sequence[int],
+        sessions: Sequence[int],
+        step: int,
+        tile: int,
+    ) -> None:
+        if not self._stream_layers:
+            return
+        streams = [
+            [
+                mask_stream_rng(
+                    layer.stream_seed, node_ids[j], sessions[j], step, li
+                )
+                for j in range(len(node_ids))
+            ]
+            for li, layer in enumerate(self._stream_layers)
+        ]
+        self._batched.set_mask_streams(streams, tile=tile)
 
     def train_block(
         self,
@@ -215,20 +306,26 @@ class BatchedTrainer:
         ys: Sequence[np.ndarray],
         rngs: Sequence[np.random.Generator],
         sessions: Sequence[int],
+        node_ids: Sequence[int] | None = None,
     ) -> np.ndarray:
         """Train every row of ``params`` in place; returns the block.
 
         ``xs[b]``/``ys[b]`` are row b's local split, ``rngs[b]`` its
         generator (mutated — batch orders draw from it exactly as the
         serial path would), ``sessions[b]`` its lr_decay session index.
+        ``node_ids[b]`` keys row b's dropout mask streams; required
+        when the model has stream-mode dropout layers.
         """
-        if self.config.dp is not None:
-            raise ValueError(
-                "DP-SGD has no batched path; train those rows serially"
-            )
         b = params.shape[0]
         if not (len(xs) == len(ys) == len(rngs) == len(sessions) == b):
             raise ValueError("need one split/rng/session per block row")
+        if self._stream_layers and node_ids is None:
+            raise ValueError(
+                "model has stream-mode dropout; pass node_ids so each "
+                "row draws its own mask streams"
+            )
+        if node_ids is not None and len(node_ids) != b:
+            raise ValueError("need one node_id per block row")
         if b == 0 or self.config.local_epochs == 0:
             return params
         n = xs[0].shape[0]
@@ -238,6 +335,10 @@ class BatchedTrainer:
             )
         if n == 0:
             return params
+        if self.config.dp is not None:
+            return self._dp_train_block(
+                params, xs, ys, rngs, sessions, node_ids
+            )
         config = self.config
         dtype = params.dtype
         x_all = np.stack(xs)
@@ -260,12 +361,14 @@ class BatchedTrainer:
         # buffer serves all steps without zeroing.
         grads = np.empty_like(params)
         rows = np.arange(b)[:, None]
+        step_idx = 0
         for _ in range(config.local_epochs):
             orders = [rng.permutation(n) for rng in rngs]
             for start in range(0, n, config.batch_size):
                 batch = np.stack(
                     [order[start : start + config.batch_size] for order in orders]
                 )
+                self._install_mask_streams(node_ids, sessions, step_idx, 1)
                 logits = self._batched.forward(params, x_all[rows, batch])
                 _, grad = batched_cross_entropy_grad(
                     logits,
@@ -276,4 +379,142 @@ class BatchedTrainer:
                 self._batched.backward(grad, grads)
                 optimizer.step(params, grads)
                 self.steps_taken += 1
+                step_idx += 1
         return params
+
+    def _dp_train_block(
+        self,
+        params: np.ndarray,
+        xs: Sequence[np.ndarray],
+        ys: Sequence[np.ndarray],
+        rngs: Sequence[np.random.Generator],
+        sessions: Sequence[int],
+        node_ids: Sequence[int] | None,
+    ) -> np.ndarray:
+        """Vectorized DP-SGD over a block: per-sample gradients at once.
+
+        Every sample of every row becomes its own tile row — a
+        ``(B * k, dim)`` forward/backward over parameter copies yields
+        all per-sample gradients in one blocked pass (each tile row is
+        a size-1 microbatch, so per-row parity makes it bit-identical
+        to the serial microbatch loop). Clipping, the sum fold, noising
+        and averaging then run as array ops (:func:`clip_block` /
+        :func:`noisy_gradient_block`), and one persistent
+        :class:`BatchedSGD` steps the real rows — reproducing
+        ``LocalTrainer._dp_sgd_step`` exactly in float64.
+        """
+        dp = self.config.dp
+        assert dp is not None
+        config = self.config
+        b = params.shape[0]
+        n = xs[0].shape[0]
+        dtype = params.dtype
+        x_all = np.stack(xs)
+        if x_all.dtype != dtype:
+            x_all = x_all.astype(dtype)
+        y_all = np.stack(ys)
+        lrs = np.array(
+            [
+                config.learning_rate * (config.lr_decay**session)
+                for session in sessions
+            ]
+        )
+        optimizer = BatchedSGD(
+            self._param_runs,
+            lrs,
+            momentum=config.momentum,
+            weight_decay=config.weight_decay,
+        )
+        rows = np.arange(b)[:, None]
+        batched = self._batched
+        batched.collect_bn_stats = True
+        step_idx = 0
+        try:
+            for _ in range(config.local_epochs):
+                orders = [rng.permutation(n) for rng in rngs]
+                for start in range(0, n, config.batch_size):
+                    batch = np.stack(
+                        [
+                            order[start : start + config.batch_size]
+                            for order in orders
+                        ]
+                    )
+                    k = batch.shape[1]
+                    xb = x_all[rows, batch]  # (B, k, ...)
+                    yb = y_all[rows, batch]  # (B, k)
+                    # One tile row per sample: row b*k+i is node b's
+                    # sample i run as a size-1 microbatch.
+                    tiled, grads = self._dp_scratch(b * k, params)
+                    tiled.reshape(b, k, -1)[...] = params[:, None, :]
+                    x_tiled = xb.reshape((b * k, 1) + xb.shape[2:])
+                    y_tiled = yb.reshape(b * k, 1)
+                    self._install_mask_streams(
+                        node_ids, sessions, step_idx, k
+                    )
+                    logits = batched.forward(tiled, x_tiled)
+                    _, grad = batched_cross_entropy_grad(
+                        logits,
+                        y_tiled,
+                        config.label_smoothing,
+                        with_losses=False,
+                    )
+                    batched.backward(grad, grads)
+                    self._fold_bn_stats(params, b, k)
+                    clip_block(grads, self._param_segments, dp.clip_norm)
+                    # Sequential left fold over the sample axis, like
+                    # the serial `summed = [acc + g]` accumulation.
+                    per_sample = grads.reshape(b, k, -1)
+                    summed = per_sample[:, 0].copy()
+                    for i in range(1, k):
+                        summed += per_sample[:, i]
+                    averaged = noisy_gradient_block(
+                        summed, k, dp, list(rngs), self._param_segments
+                    )
+                    optimizer.step(params, averaged.astype(dtype, copy=False))
+                    self.steps_taken += 1
+                    step_idx += 1
+        finally:
+            batched.collect_bn_stats = False
+        return params
+
+    def _dp_scratch(
+        self, rows: int, params: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Reusable (tile, grads) pair for a ``rows``-tile DP step.
+
+        The grads buffer is zeroed once and stays valid across steps:
+        ``backward`` write-once-fills every *parameter* slot each pass
+        and never touches buffer columns, and the in-place clip scales
+        parameter columns only — so the buffer columns' zeros (which
+        the sum fold reads) are permanent.
+        """
+        key = (rows, params.dtype)
+        pair = self._dp_buffers.get(key)
+        if pair is None:
+            pair = (
+                np.empty((rows, params.shape[1]), dtype=params.dtype),
+                np.zeros((rows, params.shape[1]), dtype=params.dtype),
+            )
+            self._dp_buffers[key] = pair
+        return pair
+
+    def _fold_bn_stats(self, params: np.ndarray, b: int, k: int) -> None:
+        """Fold per-tile BatchNorm statistics into the real rows.
+
+        The tiled forward computed each microbatch's (mean, var); the
+        serial path folds them into the running buffers one microbatch
+        at a time, so replay that exact sequence per row.
+        """
+        if not self._batchnorms:
+            return
+        block = _Block(self.layout, params)
+        for prefix, module in self._batchnorms:
+            mean, var = self._batched.bn_stats[prefix]
+            mv = mean.reshape(b, k, -1)
+            vv = var.reshape(b, k, -1)
+            m = module.momentum
+            rmean = block.get("buffer:" + prefix + "running_mean")
+            rvar = block.get("buffer:" + prefix + "running_var")
+            for i in range(k):
+                rmean[...] = (1 - m) * rmean + m * mv[:, i]
+                rvar[...] = (1 - m) * rvar + m * vv[:, i]

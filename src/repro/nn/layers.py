@@ -34,7 +34,44 @@ __all__ = [
     "Sequential",
     "Residual",
     "Identity",
+    "mask_stream_rng",
+    "stream_dropout_layers",
 ]
+
+_U64 = (1 << 64) - 1
+
+
+def mask_stream_rng(
+    seed: int, node: int, session: int, step: int, layer_index: int
+) -> np.random.Generator:
+    """Counter-based generator for one dropout layer at one train step.
+
+    The stream is a pure function of ``(seed, node, session, step,
+    layer_index)``: the same key always yields the same masks, no matter
+    which executor draws them, in which order the nodes are processed,
+    or whether the run was checkpointed and resumed in between.
+    """
+    entropy = (
+        int(seed) & _U64,
+        int(node) & _U64,
+        int(session) & _U64,
+        int(step) & _U64,
+        int(layer_index) & _U64,
+    )
+    return np.random.Generator(np.random.Philox(np.random.SeedSequence(entropy)))
+
+
+def stream_dropout_layers(model: "Module") -> list["Dropout"]:
+    """Active stream-mode dropout layers of ``model``, in modules() order.
+
+    The position in this list is the ``layer_index`` of the layer's mask
+    stream key.
+    """
+    return [
+        m
+        for m in model.modules()
+        if isinstance(m, Dropout) and m.mode == "stream" and m.p > 0.0
+    ]
 
 
 class Module:
@@ -523,23 +560,73 @@ class Flatten(Module):
 
 
 class Dropout(Module):
-    """Inverted dropout; identity when not training."""
+    """Inverted dropout; identity when not training.
 
-    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None):
+    Masks come from one of two sources, selected by ``mode``:
+
+    * ``"stream"`` (default): a counter-based generator keyed by
+      ``(stream_seed, node, session, step, layer_index)`` and installed
+      by the trainer before every optimizer step via
+      :meth:`set_mask_rng` (see :func:`mask_stream_rng`). Because the
+      stream is a pure function of the key, masks are identical across
+      serial, batched and sharded execution and survive
+      checkpoint/resume — which is what makes ``p > 0`` batchable.
+    * ``"legacy"``: the sequential generator passed at construction
+      (shared across layers at build time). Kept so pre-stream
+      checkpoints replay bit-identically; legacy masks depend on global
+      draw order, so this mode is excluded from the batched fast path.
+    """
+
+    def __init__(
+        self,
+        p: float = 0.5,
+        rng: np.random.Generator | None = None,
+        mode: str = "stream",
+        stream_seed: int = 0,
+    ):
         super().__init__()
         if not 0.0 <= p < 1.0:
             raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        if mode not in ("stream", "legacy"):
+            raise ValueError(f"dropout mode must be 'stream' or 'legacy', got {mode!r}")
         self.p = p
+        self.mode = mode
+        self.stream_seed = int(stream_seed)
         self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._stream_rng: np.random.Generator | None = None
         self._mask: np.ndarray | None = None
+
+    def set_mask_rng(self, rng: np.random.Generator | None) -> None:
+        """Install the per-step stream generator (stream mode only).
+
+        The generator persists across every forward within the step, so
+        DP-SGD's per-sample microbatch forwards consume consecutive
+        draws from the same stream — exactly matching one blocked
+        ``(n_samples, ...)`` draw.
+        """
+        self._stream_rng = rng
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if not self.training or self.p == 0.0:
             self._mask = None
             return x
+        if self.mode == "stream":
+            rng = self._stream_rng
+            if rng is None:
+                raise RuntimeError(
+                    "stream-mode Dropout used without a mask stream; call "
+                    "set_mask_rng() (see mask_stream_rng) before training"
+                )
+        else:
+            rng = self.rng
         keep = 1.0 - self.p
-        self._mask = (self.rng.random(x.shape) < keep) / keep
-        return x * self._mask
+        mask = (rng.random(x.shape) < keep) / keep
+        if np.issubdtype(x.dtype, np.floating):
+            # Keep float32 activations float32 (a float64 mask would
+            # silently promote the rest of the forward pass).
+            mask = mask.astype(x.dtype, copy=False)
+        self._mask = mask
+        return x * mask
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._mask is None:

@@ -116,10 +116,16 @@ def build_mlp(
     hidden: tuple[int, ...] = (1024, 512, 256),
     dropout: float = 0.0,
     rng: np.random.Generator | None = None,
+    dropout_mode: str = "stream",
+    stream_seed: int = 0,
 ) -> Sequential:
     """4-layer fully connected network following Nasr et al. [58].
 
     Defaults reproduce the ~1.3M-parameter Purchase100 MLP of Table 2.
+    Dropout layers default to counter-based mask streams (batchable and
+    reproducible per ``(node, session, step)``); ``dropout_mode=
+    "legacy"`` restores the stateful per-layer generator draws of
+    earlier revisions.
     """
     rng = rng if rng is not None else np.random.default_rng(0)
     layers: list[Module] = []
@@ -128,7 +134,14 @@ def build_mlp(
         layers.append(Dense(prev, size, rng=rng))
         layers.append(ReLU())
         if dropout > 0:
-            layers.append(Dropout(dropout, rng=rng))
+            layers.append(
+                Dropout(
+                    dropout,
+                    rng=rng,
+                    mode=dropout_mode,
+                    stream_seed=stream_seed,
+                )
+            )
         prev = size
     layers.append(Dense(prev, num_classes, rng=rng))
     return Sequential(*layers)
@@ -144,18 +157,35 @@ def build_model(
     width: int = 16,
     hidden: tuple[int, ...] = (1024, 512, 256),
     seed: int = 0,
+    dropout: float = 0.0,
+    dropout_mode: str = "stream",
 ) -> Sequential:
     """Factory keyed by architecture name (``cnn``/``resnet8``/``mlp``).
 
     Used by experiment configs so runs are fully described by plain
     data. All nodes calling this with the same ``seed`` obtain the same
     initial model, matching the paper's shared-initialization setup.
+    ``dropout`` currently applies to the MLP only (the paper's conv
+    models use BatchNorm, not dropout); mask streams are seeded from
+    ``seed`` so the same config always draws the same masks.
     """
     rng = np.random.default_rng(seed)
     if architecture == "cnn":
+        if dropout > 0:
+            raise ValueError("dropout is only supported for the mlp")
         return build_cnn(in_channels, image_size, num_classes, width, rng)
     if architecture == "resnet8":
+        if dropout > 0:
+            raise ValueError("dropout is only supported for the mlp")
         return build_resnet8(in_channels, num_classes, width, rng)
     if architecture == "mlp":
-        return build_mlp(in_features, num_classes, hidden, rng=rng)
+        return build_mlp(
+            in_features,
+            num_classes,
+            hidden,
+            dropout=dropout,
+            rng=rng,
+            dropout_mode=dropout_mode,
+            stream_seed=seed,
+        )
     raise ValueError(f"unknown architecture {architecture!r}")

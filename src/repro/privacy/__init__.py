@@ -31,7 +31,13 @@ from repro.privacy.attacks import (
     loss_scores,
     run_attack,
 )
-from repro.privacy.dp import DPSGDConfig, clip_per_sample, noisy_gradient
+from repro.privacy.dp import (
+    DPSGDConfig,
+    clip_block,
+    clip_per_sample,
+    noisy_gradient,
+    noisy_gradient_block,
+)
 from repro.privacy.shadow import (
     ShadowAttackConfig,
     ShadowModelAttack,
@@ -68,8 +74,10 @@ __all__ = [
     "ShadowModelAttack",
     "membership_features",
     "DPSGDConfig",
+    "clip_block",
     "clip_per_sample",
     "noisy_gradient",
+    "noisy_gradient_block",
     "RDPAccountant",
     "rdp_subsampled_gaussian",
     "rdp_to_epsilon",

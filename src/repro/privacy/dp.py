@@ -13,9 +13,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["DPSGDConfig", "clip_per_sample", "noisy_gradient"]
+__all__ = [
+    "DPSGDConfig",
+    "clip_per_sample",
+    "noisy_gradient",
+    "clip_block",
+    "noisy_gradient_block",
+]
 
 GradList = list[np.ndarray]
+Segments = list[tuple[int, int]]
 
 
 @dataclass(frozen=True)
@@ -86,4 +93,75 @@ def noisy_gradient(
     for g in summed_clipped:
         noise = rng.normal(0.0, std, size=g.shape) if std > 0 else 0.0
         out.append((g + noise) / n_samples)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Block-level counterparts (vectorized DP-SGD fast path)
+#
+# A (R, dim) block holds one flat per-sample gradient per row, laid out
+# by a StateLayout. ``segments`` lists the [offset, offset+size) column
+# range of every *parameter* in ``model.named_parameters()`` order —
+# the order the serial path iterates — so the sequential float64 norm
+# fold and the per-row noise draws reproduce the serial arithmetic (and
+# RNG consumption) bit for bit. Buffer columns are never touched.
+# ---------------------------------------------------------------------------
+
+
+def clip_block(
+    grads: np.ndarray, segments: Segments, clip_norm: float
+) -> np.ndarray:
+    """Clip every row of a per-sample gradient block in place.
+
+    The per-row global norm accumulates one float64 per-parameter sum
+    at a time, in segment order — the same left fold as the Python
+    ``sum()`` in :func:`clip_per_sample` — and the scale is applied in
+    the block dtype, matching the serial ``g * scale``. Returns the
+    pre-clip norms as a float64 ``(R,)`` array.
+    """
+    total = np.zeros(grads.shape[0], dtype=np.float64)
+    for start, stop in segments:
+        seg = grads[:, start:stop]
+        total = total + np.sum(seg * seg, axis=1).astype(np.float64)
+    norms = np.sqrt(total)
+    scale = np.minimum(1.0, clip_norm / np.maximum(norms, 1e-12))
+    scale = scale.astype(grads.dtype, copy=False)[:, None]
+    for start, stop in segments:
+        seg = grads[:, start:stop]
+        np.multiply(seg, scale, out=seg)
+    return norms
+
+
+def noisy_gradient_block(
+    summed_clipped: np.ndarray,
+    n_samples: int,
+    config: DPSGDConfig,
+    rngs: list[np.random.Generator],
+    segments: Segments,
+) -> np.ndarray:
+    """Blocked :func:`noisy_gradient`: noise + average a (B, dim) block.
+
+    ``summed_clipped[b]`` is row b's sum of clipped per-sample
+    gradients and ``rngs[b]`` its task generator; each row draws its
+    noise parameter by parameter in segment order, consuming the
+    generator exactly as the serial loop does. Returns a new block
+    (float64 when noise was added, promoting like ``g + noise``).
+    """
+    if n_samples <= 0:
+        raise ValueError("n_samples must be positive")
+    sigma = config.noise_multiplier
+    if sigma is None:
+        raise ValueError("noise_multiplier not resolved; calibrate first")
+    if len(rngs) != summed_clipped.shape[0]:
+        raise ValueError("need one generator per block row")
+    std = sigma * config.clip_norm
+    if std == 0:
+        # Mirror the serial dtype semantics: with no noise the average
+        # stays in the gradient dtype instead of promoting to float64.
+        return summed_clipped / n_samples
+    out = summed_clipped.astype(np.float64, copy=True)
+    for b, rng in enumerate(rngs):
+        for start, stop in segments:
+            out[b, start:stop] += rng.normal(0.0, std, size=stop - start)
+    out /= n_samples
     return out

@@ -139,6 +139,26 @@ class TestCheckpointResumeEquivalence:
         resumed = checkpoint_at_round_then_finish(config, tmp_path)
         assert_results_identical(reference, resumed)
 
+    def test_bit_identical_dropout_mask_streams(self, tmp_path):
+        """Counter-based mask streams are pure functions of
+        (node, session, step): no mask state crosses the checkpoint, so
+        resumed training redraws exactly the masks the uninterrupted
+        run would have drawn."""
+        config = tiny_config(dropout=0.25, executor="batched")
+        reference = run_study(config)
+        resumed = checkpoint_at_round_then_finish(config, tmp_path)
+        assert_results_identical(reference, resumed)
+
+    def test_bit_identical_dp_dropout_sharded(self, tmp_path):
+        """The full fast-path stack at once: vectorized DP-SGD with
+        stream dropout on shard workers, through a resume."""
+        config = tiny_config(
+            dp_epsilon=25.0, dropout=0.25, executor="sharded", n_shards=2
+        )
+        reference = run_study(config)
+        resumed = checkpoint_at_round_then_finish(config, tmp_path)
+        assert_results_identical(reference, resumed)
+
     def test_checkpoint_at_every_boundary(self, tmp_path):
         """Any round boundary is a valid checkpoint, including round 0
         (before any round ran) and the final round."""

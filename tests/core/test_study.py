@@ -93,6 +93,54 @@ class TestRunStudy:
             assert s_round.global_test_accuracy == p_round.global_test_accuracy
             assert s_round.mia_accuracy == p_round.mia_accuracy
 
+    def test_metadata_records_fallback_counts(self):
+        """Per-study fallback tallies are part of the run's provenance:
+        an empty dict means every trained row took the fast path."""
+        result = run_study(tiny_config(executor="batched"))
+        assert result.metadata["fallback_counts"] == {}
+
+    def test_dropout_study_stays_on_fast_path(self):
+        """Stream-mode dropout (the default) batches and shards with
+        zero per-row fallbacks and bit-identical metrics vs serial."""
+        serial = run_study(tiny_config(seed=3, dropout=0.25))
+        assert serial.metadata["dropout"] == 0.25
+        for executor, extra in (
+            ("batched", {}),
+            ("sharded", {"n_shards": 2}),
+        ):
+            other = run_study(
+                tiny_config(seed=3, dropout=0.25, executor=executor, **extra)
+            )
+            assert other.metadata["fallback_counts"] == {}, executor
+            for s_round, o_round in zip(serial.rounds, other.rounds):
+                assert (
+                    s_round.global_test_accuracy
+                    == o_round.global_test_accuracy
+                ), executor
+                assert s_round.mia_accuracy == o_round.mia_accuracy, executor
+
+    def test_legacy_dropout_mode_counts_fallbacks(self):
+        """dropout_mode="legacy" keeps the stateful per-layer draws; on
+        the batched executor every trained row is tallied under the
+        model-shape fallback reason."""
+        result = run_study(
+            tiny_config(dropout=0.25, dropout_mode="legacy", executor="batched")
+        )
+        counts = result.metadata["fallback_counts"]
+        assert counts.get("no_batched_backward", 0) > 0
+
+    def test_dp_study_stays_on_fast_path(self):
+        """Vectorized per-sample DP-SGD: no per-row fallbacks on the
+        batched executor, bit-identical metrics vs the serial run."""
+        serial = run_study(tiny_config(seed=3, dp_epsilon=25.0))
+        batched = run_study(
+            tiny_config(seed=3, dp_epsilon=25.0, executor="batched")
+        )
+        assert batched.metadata["fallback_counts"] == {}
+        for s_round, b_round in zip(serial.rounds, batched.rounds):
+            assert s_round.global_test_accuracy == b_round.global_test_accuracy
+            assert s_round.mia_accuracy == b_round.mia_accuracy
+
     def test_deterministic_given_seed(self):
         a = run_study(tiny_config(seed=5))
         b = run_study(tiny_config(seed=5))

@@ -36,10 +36,16 @@ def build_flat(
     lr_decay=1.0,
     momentum=0.0,
     dp=None,
+    dropout=0.0,
     max_updates=None,
     **config_kwargs,
 ):
-    model = MODEL_BUILDER(rng=np.random.default_rng(0))
+    builder = (
+        MODEL_BUILDER
+        if dropout == 0.0
+        else partial(build_mlp, 16, 4, hidden=(8,), dropout=dropout)
+    )
+    model = builder(rng=np.random.default_rng(0))
     trainer = LocalTrainer(
         model,
         TrainerConfig(
@@ -76,7 +82,7 @@ def build_flat(
         protocol,
         splits,
         get_state(model),
-        model_builder=MODEL_BUILDER,
+        model_builder=builder,
     )
 
 
@@ -383,9 +389,9 @@ class TestExecutorContract:
             serial.arena.data, other.arena.data, rtol=1e-4, atol=1e-5
         )
 
-    def test_sharded_executor_falls_back_per_row_for_dp(self):
-        """DP-SGD inside a shard rides the same per-row fallback as the
-        batched executor — bit-identical noise draws vs serial."""
+    def test_sharded_executor_runs_dp_blocked(self):
+        """DP-SGD inside a shard rides the vectorized per-sample path —
+        bit-identical noise draws vs serial, zero per-row fallbacks."""
         from repro.privacy.dp import DPSGDConfig
 
         dp = DPSGDConfig(clip_norm=1.0, noise_multiplier=0.3)
@@ -394,8 +400,112 @@ class TestExecutorContract:
         serial.close()
         sharded = build_flat(dp=dp, executor="sharded", n_shards=2, seed=7)
         sharded.run(2)
+        counts = sharded.fallback_counts()
         sharded.close()
         assert np.array_equal(serial.arena.data, sharded.arena.data)
+        assert counts == {}
+
+    @pytest.mark.parametrize("executor", ["batched", "sharded"])
+    @pytest.mark.parametrize("dp", [False, True], ids=["plain", "dp"])
+    @pytest.mark.parametrize("dropout", [0.0, 0.3], ids=["nodrop", "drop"])
+    def test_fast_path_matrix_float64(self, executor, dp, dropout):
+        """Every core scenario (dp x dropout x executor) runs on the
+        fast path: bit-identical to the serial reference in float64,
+        with zero per-row fallbacks."""
+        from repro.privacy.dp import DPSGDConfig
+
+        dp_config = (
+            DPSGDConfig(clip_norm=1.0, noise_multiplier=0.3) if dp else None
+        )
+        serial = build_flat(dp=dp_config, dropout=dropout, seed=11)
+        serial.run(2)
+        serial.close()
+        kwargs = {"n_shards": 2} if executor == "sharded" else {}
+        other = build_flat(
+            dp=dp_config, dropout=dropout, executor=executor, seed=11,
+            **kwargs,
+        )
+        other.run(2)
+        counts = other.fallback_counts()
+        other.close()
+        assert counts == {}
+        assert np.array_equal(serial.arena.data, other.arena.data)
+
+    @pytest.mark.parametrize("executor", ["batched", "sharded"])
+    def test_fast_path_matrix_float32(self, executor):
+        """DP + dropout on a float32 arena drifts only within the
+        associativity gate vs the float32 serial reference."""
+        from repro.privacy.dp import DPSGDConfig
+
+        dp_config = DPSGDConfig(clip_norm=1.0, noise_multiplier=0.3)
+        serial = build_flat(
+            dp=dp_config, dropout=0.3, arena_dtype="float32", seed=11
+        )
+        serial.run(2)
+        serial.close()
+        kwargs = {"n_shards": 2} if executor == "sharded" else {}
+        other = build_flat(
+            dp=dp_config, dropout=0.3, executor=executor,
+            arena_dtype="float32", seed=11, **kwargs,
+        )
+        other.run(2)
+        other.close()
+        assert other.arena.data.dtype == np.float32
+        np.testing.assert_allclose(
+            serial.arena.data, other.arena.data, rtol=1e-4, atol=1e-5
+        )
+
+    @pytest.mark.parametrize(
+        "executor", ["serial", "batched", "process", "sharded"]
+    )
+    def test_set_trainer_config_reaches_live_executor(self, executor):
+        """A mid-run config swap through the simulator must reach the
+        live executor (blocked trainer, process pool, shard workers) —
+        training after the swap matches serial bit for bit."""
+        from dataclasses import replace
+
+        def run(ex):
+            extra = {}
+            if ex == "sharded":
+                extra["n_shards"] = 2
+            elif ex == "process":
+                extra["n_workers"] = 2
+            sim = build_flat(executor=ex, seed=3, **extra)
+            sim.run(1)
+            sim.set_trainer_config(
+                replace(
+                    sim.protocol.trainer.config,
+                    learning_rate=0.005,
+                    lr_decay=0.9,
+                )
+            )
+            sim.run(1)
+            data = sim.arena.data.copy()
+            sim.close()
+            return data
+
+        reference = run("serial")
+        np.testing.assert_array_equal(reference, run(executor))
+
+    def test_set_trainer_config_rejects_non_config(self):
+        sim = build_flat()
+        try:
+            with pytest.raises(TypeError):
+                sim.set_trainer_config({"learning_rate": 0.1})
+        finally:
+            sim.close()
+
+    def test_dict_engine_set_trainer_config_and_fallbacks(self):
+        sim = build_flat(engine="dict")
+        try:
+            from dataclasses import replace
+
+            new = replace(sim.protocol.trainer.config, learning_rate=0.005)
+            sim.set_trainer_config(new)
+            assert sim.protocol.trainer.config.learning_rate == 0.005
+            assert sim.fallback_counts() == {}
+        finally:
+            sim.close()
 
     def test_sharded_executor_requires_model_builder(self):
         model = MODEL_BUILDER(rng=np.random.default_rng(0))
@@ -422,10 +532,11 @@ class TestExecutorContract:
         finally:
             sim.close()
 
-    def test_batched_executor_falls_back_per_row_for_dp(self):
-        """DP-SGD has no blocked path: the batched executor must route
-        every task through the per-row workspace trainer and still match
-        the serial executor bit for bit (same noise draws)."""
+    def test_batched_executor_runs_dp_blocked(self):
+        """DP-SGD now has a blocked path: the batched executor trains
+        every task through the vectorized per-sample-gradient kernels
+        and still matches the serial executor bit for bit (same noise
+        draws, same clip folds)."""
         from repro.privacy.dp import DPSGDConfig
 
         dp = DPSGDConfig(clip_norm=1.0, noise_multiplier=0.3)
@@ -435,17 +546,64 @@ class TestExecutorContract:
         batched = build_flat(dp=dp, executor="batched", seed=7)
         batched.run(2)
         executor = batched.executor()  # before close() drops it
+        counts = batched.fallback_counts()
         batched.close()
         assert np.array_equal(serial.arena.data, batched.arena.data)
-        # The blocked trainer must never have stepped.
-        assert executor.batched.steps_taken == 0
+        # The blocked trainer did the work; nothing fell back per row.
+        assert executor.batched.steps_taken > 0
+        assert counts == {}
         assert sum(n.updates_performed for n in batched.nodes) > 0
 
-    def test_unsupported_architecture_falls_back_per_row(self):
-        """A model without a batched backward (stochastic dropout) must
-        construct and run on the per-row fallback, matching serial —
-        not crash at executor construction."""
+    def test_stream_dropout_trains_blocked(self):
+        """Stream-mode dropout (the default) batches: masks come from
+        counter-based streams keyed by (node, session, step), so the
+        blocked path draws exactly the serial masks — bit-identity, no
+        fallback."""
         dropout_builder = partial(build_mlp, 16, 4, hidden=(8,), dropout=0.3)
+
+        def build(executor):
+            model = dropout_builder(rng=np.random.default_rng(0))
+            trainer = LocalTrainer(
+                model,
+                TrainerConfig(learning_rate=0.05, local_epochs=1,
+                              batch_size=8),
+            )
+            train, _ = make_synthetic_tabular_dataset(
+                "t", 300, 30, num_features=16, num_classes=4, seed=0
+            )
+            splits = make_node_splits(
+                train, 6, train_per_node=16, test_per_node=8, seed=0
+            )
+            config = SimulatorConfig(
+                n_nodes=6, view_size=2, ticks_per_round=20, wake_mu=20,
+                wake_sigma=2, executor=executor, n_shards=2, seed=0,
+            )
+            return make_simulator(
+                config, make_protocol("samo", trainer), splits,
+                get_state(model), model_builder=dropout_builder,
+            )
+
+        serial = build("serial")
+        serial.run(2)
+        serial.close()
+        for other_name in ("batched", "sharded"):
+            other = build(other_name)
+            other.run(2)
+            counts = other.fallback_counts()
+            other.close()
+            assert counts == {}, other_name
+            assert np.array_equal(serial.arena.data, other.arena.data), (
+                other_name
+            )
+
+    def test_unsupported_architecture_falls_back_per_row(self):
+        """A model without a batched backward (legacy-mode stochastic
+        dropout) must construct and run on the per-row fallback,
+        matching serial — not crash at executor construction."""
+        dropout_builder = partial(
+            build_mlp, 16, 4, hidden=(8,), dropout=0.3,
+            dropout_mode="legacy",
+        )
 
         def build(executor):
             model = dropout_builder(rng=np.random.default_rng(0))
@@ -475,9 +633,13 @@ class TestExecutorContract:
         batched = build("batched")
         batched.run(2)
         executor = batched.executor()
+        counts = batched.fallback_counts()
         batched.close()
         assert executor.batched is None  # no blocked trainer built
         assert np.array_equal(serial.arena.data, batched.arena.data)
+        # Every trained row was tallied under the model-shape reason.
+        assert set(counts) == {"no_batched_backward"}
+        assert counts["no_batched_backward"] > 0
 
     def test_process_executor_requires_model_builder(self):
         model = MODEL_BUILDER(rng=np.random.default_rng(0))

@@ -151,15 +151,23 @@ class TestSupportsBatchedBackward:
         for arch, kwargs, _ in ARCHS:
             assert supports_batched_backward(build_model(arch, **kwargs))
 
-    def test_stochastic_dropout_rejected(self):
+    def test_stochastic_dropout_modes(self):
         model = build_model(
             "mlp", in_features=10, num_classes=4, hidden=(8,)
         )
         assert supports_batched_backward(model)
-        dropped = Sequential(Dense(10, 8), ReLU(), Dropout(0.3), Dense(8, 4))
-        assert not supports_batched_backward(dropped)
-        # p == 0 dropout is the identity and batches fine.
-        inert = Sequential(Dense(10, 8), Dropout(0.0), Dense(8, 4))
+        # Counter-based mask streams (the default) batch fine even with
+        # p > 0; the stateful legacy generator does not.
+        streamed = Sequential(Dense(10, 8), ReLU(), Dropout(0.3), Dense(8, 4))
+        assert supports_batched_backward(streamed)
+        legacy = Sequential(
+            Dense(10, 8), ReLU(), Dropout(0.3, mode="legacy"), Dense(8, 4)
+        )
+        assert not supports_batched_backward(legacy)
+        # p == 0 dropout is the identity and batches in either mode.
+        inert = Sequential(
+            Dense(10, 8), Dropout(0.0, mode="legacy"), Dense(8, 4)
+        )
         assert supports_batched_backward(inert)
 
     def test_unknown_layer_rejected(self):
@@ -172,7 +180,7 @@ class TestSupportsBatchedBackward:
     def test_batched_model_refuses_unsupported(self):
         layout = StateLayout.from_state({"w": np.zeros(1)})
         with pytest.raises(ValueError, match="batched backward"):
-            BatchedModel(Sequential(Dropout(0.5)), layout)
+            BatchedModel(Sequential(Dropout(0.5, mode="legacy")), layout)
 
 
 class TestParameterColumnRuns:
@@ -425,7 +433,7 @@ class TestBatchedTrainerParity:
         empty = np.empty((0, layout.dim))
         assert batched.train_block(empty, [], [], [], []) is empty
 
-    def test_rejects_ragged_blocks_and_dp(self):
+    def test_rejects_ragged_blocks(self):
         arch, kwargs, xshape = ARCHS[0]
         model, layout, params, states, xs, ys = make_training_block(
             arch, kwargs, xshape, seed=6
@@ -437,16 +445,56 @@ class TestBatchedTrainerParity:
             batched.train_block(params, ragged, ys, rngs, [0] * 4)
         with pytest.raises(ValueError, match="one entry|per row|per block"):
             batched.train_block(params, xs[:2], ys, rngs, [0] * 4)
+
+    @pytest.mark.parametrize("arch,kwargs,xshape", ARCHS)
+    def test_dp_exact_in_float64(self, arch, kwargs, xshape):
+        """Vectorized per-sample-gradient DP-SGD must reproduce the
+        serial clip-and-noise path bit for bit — including the
+        BatchNorm statistics fold for the conv families."""
         from repro.privacy.dp import DPSGDConfig
 
+        model, layout, params, states, xs, ys = make_training_block(
+            arch, kwargs, xshape, n_rows=4, n=12, seed=8
+        )
+        dp_config = TrainerConfig(
+            learning_rate=0.05,
+            momentum=0.9,
+            weight_decay=5e-4,
+            local_epochs=2,
+            batch_size=5,
+            dp=DPSGDConfig(clip_norm=1.0, noise_multiplier=0.7),
+        )
+        serial = np.empty_like(params)
+        trainer = LocalTrainer(model, dp_config)
+        for b, state in enumerate(states):
+            out = trainer.train(
+                state, xs[b], ys[b], np.random.default_rng(30 + b), session=0
+            )
+            layout.pack(out, out=serial[b])
+        batched = BatchedTrainer(model, dp_config, layout)
+        rngs = [np.random.default_rng(30 + b) for b in range(4)]
+        batched.train_block(params, xs, ys, rngs, [0] * 4)
+        np.testing.assert_array_equal(params, serial)
+
+    def test_dp_runs_blocked(self):
+        # DP-SGD no longer falls back per row: the vectorized
+        # per-sample-gradient path trains the whole block.
+        from repro.privacy.dp import DPSGDConfig
+
+        arch, kwargs, xshape = ARCHS[0]
+        model, layout, params, states, xs, ys = make_training_block(
+            arch, kwargs, xshape, seed=6
+        )
         dp_config = TrainerConfig(
             learning_rate=0.1, batch_size=4,
             dp=DPSGDConfig(clip_norm=1.0, noise_multiplier=0.1),
         )
-        with pytest.raises(ValueError, match="DP-SGD"):
-            BatchedTrainer(model, dp_config, layout).train_block(
-                params, xs, ys, rngs, [0] * 4
-            )
+        trainer = BatchedTrainer(model, dp_config, layout)
+        rngs = [np.random.default_rng(b) for b in range(4)]
+        before = params.copy()
+        out = trainer.train_block(params, xs, ys, rngs, [0] * 4)
+        assert trainer.steps_taken > 0
+        assert not np.array_equal(out, before)
 
 
 class TestSupportsBatchedForward:

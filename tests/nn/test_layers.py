@@ -221,14 +221,56 @@ class TestFlattenDropoutIdentity:
         np.testing.assert_array_equal(layer.forward(x), x)
 
     def test_dropout_preserves_expectation(self, rng):
-        layer = Dropout(0.5, rng=rng)
+        layer = Dropout(0.5, rng=rng, mode="legacy")
         x = np.ones((200, 200))
         out = layer.forward(x)
         assert out.mean() == pytest.approx(1.0, abs=0.05)
 
+    def test_stream_dropout_preserves_expectation(self):
+        from repro.nn.layers import mask_stream_rng
+
+        layer = Dropout(0.5)
+        layer.set_mask_rng(mask_stream_rng(0, node=3, session=1, step=0, layer_index=0))
+        x = np.ones((200, 200))
+        out = layer.forward(x)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_stream_dropout_without_stream_raises(self):
+        layer = Dropout(0.5)
+        with pytest.raises(RuntimeError, match="mask stream"):
+            layer.forward(np.ones((4, 4)))
+
+    def test_stream_dropout_is_reproducible(self):
+        from repro.nn.layers import mask_stream_rng
+
+        x = np.ones((8, 8))
+        outs = []
+        for _ in range(2):
+            layer = Dropout(0.5)
+            layer.set_mask_rng(
+                mask_stream_rng(7, node=2, session=5, step=1, layer_index=0)
+            )
+            outs.append(layer.forward(x))
+        np.testing.assert_array_equal(outs[0], outs[1])
+        other = Dropout(0.5)
+        other.set_mask_rng(
+            mask_stream_rng(7, node=2, session=5, step=2, layer_index=0)
+        )
+        assert not np.array_equal(outs[0], other.forward(x))
+
+    def test_dropout_mask_keeps_float32(self):
+        from repro.nn.layers import mask_stream_rng
+
+        layer = Dropout(0.5)
+        layer.set_mask_rng(mask_stream_rng(0, 0, 0, 0, 0))
+        out = layer.forward(np.ones((4, 4), dtype=np.float32))
+        assert out.dtype == np.float32
+
     def test_dropout_rejects_bad_p(self):
         with pytest.raises(ValueError):
             Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(0.5, mode="bogus")
 
     def test_identity(self, rng):
         layer = Identity()

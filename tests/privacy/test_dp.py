@@ -110,3 +110,98 @@ class TestNoisyGradient:
             [np.zeros(10)], 2, config, np.random.default_rng(3)
         )
         np.testing.assert_array_equal(a[0], b[0])
+
+
+class TestBlockOps:
+    """Block-level counterparts must reproduce the serial primitives
+    bit for bit (same folds, same RNG consumption per row)."""
+
+    def _block(self, rng, rows=5, scale=10.0):
+        # Two "parameters" laid out in columns, plus a buffer column
+        # at the end that the segments never touch.
+        from repro.privacy import clip_block
+
+        grads = rng.normal(size=(rows, 17)) * scale
+        grads[:, 16] = 999.0  # buffer column: must stay untouched
+        segments = [(0, 12), (12, 16)]
+        return grads, segments, clip_block
+
+    def test_clip_block_matches_serial(self, rng):
+        grads, segments, clip_block = self._block(rng)
+        expected_rows = []
+        expected_norms = []
+        for row in grads:
+            clipped, norm = clip_per_sample(
+                [row[0:12], row[12:16]], clip_norm=1.0
+            )
+            expected_rows.append(np.concatenate(clipped))
+            expected_norms.append(norm)
+        norms = clip_block(grads, segments, clip_norm=1.0)
+        np.testing.assert_array_equal(norms, np.asarray(expected_norms))
+        np.testing.assert_array_equal(
+            grads[:, :16], np.stack(expected_rows)
+        )
+        np.testing.assert_array_equal(grads[:, 16], 999.0)
+
+    def test_clip_block_float32_scale_applied_in_dtype(self, rng):
+        from repro.privacy import clip_block
+
+        grads = (rng.normal(size=(3, 8)) * 50).astype(np.float32)
+        reference = grads.copy()
+        clip_block(grads, [(0, 8)], clip_norm=1.0)
+        for b in range(3):
+            clipped, _ = clip_per_sample([reference[b]], clip_norm=1.0)
+            np.testing.assert_array_equal(grads[b], clipped[0])
+        assert grads.dtype == np.float32
+
+    def test_noisy_gradient_block_matches_serial(self, rng):
+        from repro.privacy import noisy_gradient_block
+
+        config = DPSGDConfig(clip_norm=2.0, noise_multiplier=0.7)
+        summed = rng.normal(size=(4, 16))
+        segments = [(0, 12), (12, 16)]
+        serial = [
+            noisy_gradient(
+                [summed[b, 0:12].copy(), summed[b, 12:16].copy()],
+                n_samples=3,
+                config=config,
+                rng=np.random.default_rng(100 + b),
+            )
+            for b in range(4)
+        ]
+        out = noisy_gradient_block(
+            summed, 3, config,
+            [np.random.default_rng(100 + b) for b in range(4)],
+            segments,
+        )
+        for b in range(4):
+            np.testing.assert_array_equal(
+                out[b], np.concatenate(serial[b])
+            )
+
+    def test_noisy_gradient_block_zero_noise_keeps_dtype(self, rng):
+        from repro.privacy import noisy_gradient_block
+
+        config = DPSGDConfig(clip_norm=1.0, noise_multiplier=0.0)
+        summed = rng.normal(size=(2, 6)).astype(np.float32)
+        out = noisy_gradient_block(
+            summed, 2, config,
+            [np.random.default_rng(b) for b in range(2)], [(0, 6)],
+        )
+        assert out.dtype == np.float32
+        np.testing.assert_array_equal(out, summed / 2)
+
+    def test_noisy_gradient_block_validates(self, rng):
+        from repro.privacy import noisy_gradient_block
+
+        config = DPSGDConfig(clip_norm=1.0, noise_multiplier=1.0)
+        with pytest.raises(ValueError, match="positive"):
+            noisy_gradient_block(
+                np.zeros((1, 2)), 0, config,
+                [np.random.default_rng(0)], [(0, 2)],
+            )
+        with pytest.raises(ValueError, match="generator per block row"):
+            noisy_gradient_block(
+                np.zeros((2, 2)), 1, config,
+                [np.random.default_rng(0)], [(0, 2)],
+            )
