@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke lint docs-check coverage examples
+.PHONY: test bench bench-smoke lint docs-check coverage examples serve-smoke
 
 ## Tier-1 suite: unit + integration tests and benchmarks.
 test:
@@ -32,6 +32,11 @@ bench-smoke:
 ## Smoke-run every script in examples/ at tiny scale.
 examples:
 	$(PYTHON) tools/run_examples.py
+
+## Boot the HTTP/SSE service on an ephemeral port, run a study through
+## it end to end (stream, cache hit, clean shutdown).
+serve-smoke:
+	$(PYTHON) tools/serve_smoke.py
 
 ## Static checks: byte-compile everything (no third-party linter needed).
 lint:

@@ -30,25 +30,35 @@ BENCH_SCHEMA_VERSION = 2
 _BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 
-def update_bench_json(sections: dict) -> None:
+def update_bench_json(sections: dict, path: Path | None = None) -> None:
     """Merge measured sections into BENCH_engine.json.
 
     Merging (instead of overwriting) lets each benchmark module own its
     sections and still produce one machine-readable file whether `make
     bench`, `make bench-smoke` or a single module ran.
+
+    The write is atomic (tmp + rename, like the checkpoint files), so a
+    crash mid-write never truncates the file, and a corrupt or
+    truncated existing file is treated as empty rather than aborting
+    the merge.
     """
+    target = _BENCH_PATH if path is None else Path(path)
     data: dict = {}
-    if _BENCH_PATH.exists():
+    if target.exists():
         try:
-            data = json.loads(_BENCH_PATH.read_text())
+            loaded = json.loads(target.read_text())
         except ValueError:
-            data = {}
+            loaded = {}
+        if isinstance(loaded, dict):
+            data = loaded
     data.pop("schema", None)  # pre-versioning key from schema 1
     data.update(sections)
     data["schema_version"] = BENCH_SCHEMA_VERSION
     data["unit"] = "ms"
     data["cpus"] = os.cpu_count()
-    _BENCH_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    tmp = target.with_suffix(target.suffix + ".tmp")
+    tmp.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, target)
 
 
 def bench_scale() -> str:

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands::
+Five subcommands::
 
     python -m repro.cli study --dataset purchase100 --protocol samo \
         --nodes 8 --rounds 5 --dynamic --out run.json
@@ -8,6 +8,7 @@ Four subcommands::
     python -m repro.cli campaign --dataset purchase100 --scale tiny \
         --grid seed=0,1,2 --grid protocol=samo,base_gossip \
         --out-dir runs/ --jobs 0
+    python -m repro.cli serve --port 8000
     python -m repro.cli figure --id 3 --scale tiny
     python -m repro.cli tables
 
@@ -16,8 +17,9 @@ rounds complete) and optionally writes JSON/CSV; ``--checkpoint``
 snapshots the session every round and ``--resume`` continues a
 checkpointed run bit-identically. ``campaign`` sweeps a grid of
 configs over a process pool with per-study result files (re-running
-with the same ``--out-dir`` resumes). ``figure`` regenerates one paper
-figure's data series; ``tables`` prints Tables 1 and 2.
+with the same ``--out-dir`` resumes). ``serve`` runs the long-lived
+HTTP/SSE service (``docs/service.md``). ``figure`` regenerates one
+paper figure's data series; ``tables`` prints Tables 1 and 2.
 """
 
 from __future__ import annotations
@@ -238,6 +240,41 @@ def _run_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_serve_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "serve",
+        help="run the HTTP/SSE study service (see docs/service.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8000,
+                   help="listen port (0 = ephemeral)")
+    p.add_argument("--job-workers", type=int, default=2,
+                   help="study worker threads draining the job queue")
+    p.add_argument("--rate-capacity", type=int, default=50,
+                   help="token-bucket burst capacity")
+    p.add_argument("--rate-refill", type=float, default=25.0,
+                   help="token-bucket refill rate (tokens/second)")
+    p.add_argument("--cache-entries", type=int, default=128,
+                   help="response-cache size (LRU, keyed by config hash)")
+    p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                   help="where cancelled studies checkpoint for resume "
+                        "(default: a private temporary directory)")
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.service import serve
+
+    return serve(
+        host=args.host,
+        port=args.port,
+        job_workers=args.job_workers,
+        rate_capacity=args.rate_capacity,
+        rate_refill=args.rate_refill,
+        cache_entries=args.cache_entries,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+
+
 def _collect_series(obj, prefix="", out=None, key="mia_accuracy"):
     """Find every array named ``key`` in a nested figure result."""
     if out is None:
@@ -328,6 +365,7 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
     _add_study_parser(sub)
     _add_campaign_parser(sub)
+    _add_serve_parser(sub)
     fig = sub.add_parser("figure", help="regenerate one paper figure's data")
     fig.add_argument("--id", type=int, required=True, choices=range(2, 11))
     fig.add_argument("--scale", default="tiny", choices=["tiny", "small", "paper"])
@@ -340,6 +378,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_study(args)
     if args.command == "campaign":
         return _run_campaign(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "figure":
         return _run_figure(args)
     return _run_tables(args)

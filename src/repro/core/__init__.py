@@ -15,6 +15,7 @@ from repro.core.config import (
     ModelConfig,
     PrivacyConfig,
     TopologyConfig,
+    config_hash,
 )
 from repro.core.study import Study, StudyConfig, VulnerabilityStudy, run_study
 
@@ -25,6 +26,7 @@ __all__ = [
     "TopologyConfig",
     "ExecutionConfig",
     "PrivacyConfig",
+    "config_hash",
     "Study",
     "StudyConfig",
     "VulnerabilityStudy",

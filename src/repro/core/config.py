@@ -17,6 +17,8 @@ both at construction from dicts and through ``with_overrides``.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, fields, replace
 from typing import Any, Mapping
 
@@ -29,6 +31,7 @@ __all__ = [
     "PrivacyConfig",
     "GROUPS",
     "FLAT_TO_GROUP",
+    "config_hash",
     "group_field_names",
     "reject_unknown_keys",
 ]
@@ -238,6 +241,28 @@ class PrivacyConfig(ConfigGroup):
             raise ValueError("dp_clip_norm must be positive")
         if self.n_canaries < 0:
             raise ValueError("n_canaries must be non-negative")
+
+
+def config_hash(config) -> str:
+    """Canonical SHA-256 hex digest of a study config.
+
+    The identity key of the service-layer response cache and job
+    deduplication: a fixed config + seed determines the run bit for bit
+    (float64), so two requests with the same hash may share one
+    simulator. Accepts a ``StudyConfig`` (anything with ``to_dict``) or
+    a plain mapping in any accepted spelling — grouped, flat, or a mix.
+    Mappings are normalized through ``StudyConfig.from_dict`` first, so
+    dict key ordering, group-vs-flat spellings, and omitted-but-default
+    fields all hash identically.
+    """
+    if isinstance(config, Mapping):
+        # Lazy import: study.py imports this module at load time.
+        from repro.core.study import StudyConfig
+
+        config = StudyConfig.from_dict(dict(config))
+    payload = config.to_dict()
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 # Group name -> group class, in StudyConfig presentation order.

@@ -31,6 +31,7 @@ from __future__ import annotations
 import math
 import os
 import pickle
+import threading
 from dataclasses import dataclass, replace
 from functools import partial
 from pathlib import Path
@@ -45,6 +46,7 @@ from repro.core.config import (
     ConfigGroup,
     DataConfig,
     ExecutionConfig,
+    config_hash,
     ModelConfig,
     PrivacyConfig,
     TopologyConfig,
@@ -294,6 +296,10 @@ class StudyConfig:
                 flat[key] = value
         return replace(self, **flat)
 
+    def config_hash(self) -> str:
+        """Canonical content hash (:func:`repro.core.config.config_hash`)."""
+        return config_hash(self)
+
     @property
     def architecture(self) -> str:
         if self.dataset not in _DATASET_MODELS:
@@ -328,6 +334,11 @@ class Study:
         self._built = False
         self._finalized = False
         self._rounds_done = 0
+        # Set from any thread (the service layer's HTTP handlers);
+        # honored by iter_rounds at the next round boundary, which is
+        # also the checkpoint granularity — a cancelled study can
+        # always be checkpointed and resumed bit-identically.
+        self._cancel = threading.Event()
 
     # -- lifecycle ------------------------------------------------------
 
@@ -354,6 +365,27 @@ class Study:
     def rounds_completed(self) -> int:
         """Rounds observed so far (also the next round index)."""
         return self._rounds_done
+
+    # -- cancellation ---------------------------------------------------
+
+    def request_cancel(self) -> None:
+        """Ask a running :meth:`iter_rounds` loop to stop (thread-safe).
+
+        Takes effect at the next round boundary: the generator returns
+        instead of starting another round. The study stays open —
+        callers can still :meth:`checkpoint`, read :meth:`result` for
+        the partial run, and must :meth:`close` as usual.
+        """
+        self._cancel.set()
+
+    @property
+    def cancel_requested(self) -> bool:
+        """Whether :meth:`request_cancel` has been called."""
+        return self._cancel.is_set()
+
+    def clear_cancel(self) -> None:
+        """Re-arm the session after a cancelled :meth:`iter_rounds`."""
+        self._cancel.clear()
 
     # -- construction ---------------------------------------------------
 
@@ -542,6 +574,11 @@ class Study:
                 raise ValueError("rounds must be non-negative")
             target = min(target, self._rounds_done + rounds)
         while self._rounds_done < target:
+            if self._cancel.is_set():
+                # Cancelled between rounds: stop without the end-of-run
+                # finalization — the horizon was not reached, and a
+                # resume must replay the remaining rounds bit-identically.
+                return
             self.simulator.run_round()
             round_index = self._rounds_done
             self.observer(round_index, self.simulator)

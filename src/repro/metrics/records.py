@@ -61,6 +61,23 @@ class RoundRecord:
             )
         return cls(**payload)
 
+    def to_json(self) -> str:
+        """Single-line, sorted-keys JSON — the service's SSE frame
+        format. Floats survive via repr round-tripping, so the frame a
+        client streams is bit-identical to a local record's output."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "RoundRecord":
+        """Inverse of :meth:`to_json`."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"not a serialized RoundRecord: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ValueError("not a serialized RoundRecord")
+        return cls.from_dict(payload)
+
     @classmethod
     def from_evaluations(
         cls,

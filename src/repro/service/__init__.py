@@ -1,0 +1,48 @@
+"""Gossip-as-a-service: a stdlib-only HTTP/SSE front end over the
+:class:`~repro.core.study.Study` session layer.
+
+The paper is a middleware paper; this package is the communications
+tier between clients and the simulation — a long-running service with
+an explicit, ordered middleware pipeline (request context, structured
+access logs, metrics, token-bucket rate limiting, and a deterministic
+response cache keyed by canonical config hash) in front of a job
+manager that streams each study's per-round records as server-sent
+events. See ``docs/service.md`` for the full protocol contract.
+"""
+
+from repro.service.app import StudyService, make_server, serve
+from repro.service.jobs import JobManager, StudyJob
+from repro.service.middleware import (
+    AccessLogMiddleware,
+    MetricsMiddleware,
+    Request,
+    RequestContext,
+    RequestContextMiddleware,
+    Response,
+    ResponseCacheMiddleware,
+    TokenBucketMiddleware,
+    build_pipeline,
+)
+from repro.service.router import Router
+from repro.service.sse import SSEvent, format_event, parse_sse_stream
+
+__all__ = [
+    "StudyService",
+    "make_server",
+    "serve",
+    "JobManager",
+    "StudyJob",
+    "Router",
+    "Request",
+    "Response",
+    "RequestContext",
+    "RequestContextMiddleware",
+    "AccessLogMiddleware",
+    "MetricsMiddleware",
+    "TokenBucketMiddleware",
+    "ResponseCacheMiddleware",
+    "build_pipeline",
+    "SSEvent",
+    "format_event",
+    "parse_sse_stream",
+]

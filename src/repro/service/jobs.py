@@ -1,0 +1,404 @@
+"""Study job manager: the computation tier behind the HTTP front end.
+
+A fixed pool of daemon worker threads drains a FIFO queue of
+:class:`StudyJob` items. Each job runs one
+:class:`~repro.core.study.Study` session via ``iter_rounds()``,
+appending one frame (``RoundRecord.to_json()``) per completed round to
+the job's replay buffer; SSE subscribers — including late ones —
+stream that buffer through :meth:`StudyJob.stream`.
+
+Jobs are deduplicated by canonical config hash
+(:func:`repro.core.config.config_hash`): submitting an identical
+config returns the existing job, running or finished, so repeated
+requests never build a second simulator (``builds_performed`` is the
+gate the contract tests assert on). Cancellation is cooperative —
+:meth:`~repro.core.study.Study.request_cancel` stops the session at
+the next round boundary, the worker checkpoints it, and a later
+``resume`` continues from the checkpoint bit-identically (float64).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import queue
+import threading
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro.core.config import config_hash
+from repro.core.study import Study, StudyConfig
+
+__all__ = ["StudyJob", "JobManager", "QUEUED", "RUNNING", "DONE", "FAILED", "CANCELLED"]
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+_TERMINAL = (DONE, FAILED, CANCELLED)
+_ACTIVE = (QUEUED, RUNNING)
+
+
+class StudyJob:
+    """One submitted study: state machine + frame replay buffer.
+
+    All mutable state is guarded by one condition variable; round
+    frames are append-only, so :meth:`stream` can replay then follow
+    the buffer with nothing but an index.
+    """
+
+    def __init__(self, job_id: str, config: StudyConfig, request_id: str = ""):
+        self.id = job_id
+        self.config = config
+        self.config_hash = config_hash(config)
+        self.request_id = request_id
+        self.state = QUEUED
+        self.frames: list[str] = []
+        self.error: str | None = None
+        self.result_json: str | None = None
+        self.checkpoint_path: Path | None = None
+        self.discard = False  # DELETEd while running: skip checkpoint/result
+        self._cancel_requested = False
+        self._study: Study | None = None
+        self._cond = threading.Condition()
+
+    # -- worker side ----------------------------------------------------
+
+    def _attach_study(self, study: Study) -> bool:
+        """Bind the live session; returns False if already cancelled."""
+        with self._cond:
+            self._study = study
+            if self._cancel_requested:
+                study.request_cancel()
+            return not self._cancel_requested or study.rounds_completed > 0
+
+    def _append_frame(self, frame: str) -> None:
+        with self._cond:
+            self.frames.append(frame)
+            self._cond.notify_all()
+
+    def _finish(
+        self,
+        state: str,
+        error: str | None = None,
+        result_json: str | None = None,
+        checkpoint_path: Path | None = None,
+    ) -> None:
+        with self._cond:
+            self.state = state
+            self.error = error
+            if result_json is not None:
+                self.result_json = result_json
+            if checkpoint_path is not None:
+                self.checkpoint_path = checkpoint_path
+            self._study = None
+            self._cond.notify_all()
+
+    # -- service side ---------------------------------------------------
+
+    def request_cancel(self) -> None:
+        """Flag cancellation; reaches a live session immediately."""
+        with self._cond:
+            self._cancel_requested = True
+            if self._study is not None:
+                self._study.request_cancel()
+            self._cond.notify_all()
+
+    @property
+    def cancel_requested(self) -> bool:
+        with self._cond:
+            return self._cancel_requested
+
+    def rearm(self) -> None:
+        """Reset cancel state and re-queue bookkeeping for a resume."""
+        with self._cond:
+            self._cancel_requested = False
+            self.state = QUEUED
+            self.error = None
+            self._cond.notify_all()
+
+    def snapshot(self) -> dict:
+        """JSON-ready status view (the ``GET /studies/{id}`` body)."""
+        with self._cond:
+            return {
+                "id": self.id,
+                "name": self.config.name,
+                "state": self.state,
+                "config_hash": self.config_hash,
+                "rounds_completed": len(self.frames),
+                "rounds_total": self.config.rounds,
+                "request_id": self.request_id,
+                "error": self.error,
+                "resumable": self.checkpoint_path is not None
+                and self.state == CANCELLED,
+            }
+
+    def wait(self, timeout: float | None = None) -> str:
+        """Block until the job reaches a terminal state; returns it."""
+        with self._cond:
+            self._cond.wait_for(lambda: self.state in _TERMINAL, timeout)
+            return self.state
+
+    def stream(self, poll_interval: float = 0.5) -> Iterator[tuple[int, str]]:
+        """Yield ``(index, frame)`` pairs: replay the buffer, then follow.
+
+        Ends when the buffer is drained and the job is terminal. Safe
+        for any number of concurrent consumers; a consumer that goes
+        away simply abandons the generator (no registration to undo),
+        which is what makes client disconnects leak-free.
+        """
+        index = 0
+        while True:
+            with self._cond:
+                self._cond.wait_for(
+                    lambda: index < len(self.frames) or self.state in _TERMINAL,
+                    poll_interval,
+                )
+                fresh = self.frames[index:]
+                state = self.state
+            for frame in fresh:
+                yield index, frame
+                index += 1
+            if state in _TERMINAL:
+                with self._cond:
+                    done = index >= len(self.frames)
+                if done:
+                    return
+
+
+class JobManager:
+    """Worker pool + registry with dedup-by-config-hash.
+
+    ``builds_performed`` counts every simulator construction (fresh
+    builds and checkpoint resumes); the cache/dedup contract is that
+    repeated identical submissions leave it untouched.
+    """
+
+    def __init__(
+        self,
+        checkpoint_dir: str | Path,
+        workers: int = 2,
+        logger: logging.Logger | None = None,
+        round_hook: Callable[[StudyJob, object], None] | None = None,
+    ) -> None:
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        self.checkpoint_dir = Path(checkpoint_dir)
+        self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        self._log = logger or logging.getLogger("repro.service.jobs")
+        # Test/instrumentation hook, called in the worker thread after
+        # each frame is appended (the smoke/fault tests use it to hold
+        # a job mid-run deterministically).
+        self._round_hook = round_hook
+        self._lock = threading.Lock()
+        self._jobs: dict[str, StudyJob] = {}
+        self._by_hash: dict[str, str] = {}
+        self._counter = 0
+        self._builds = 0
+        self._queue: queue.Queue = queue.Queue()
+        self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"study-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- public API -----------------------------------------------------
+
+    @property
+    def builds_performed(self) -> int:
+        """Simulator builds so far (fresh builds + checkpoint resumes)."""
+        with self._lock:
+            return self._builds
+
+    def submit(
+        self, config: StudyConfig, request_id: str = ""
+    ) -> tuple[StudyJob, bool]:
+        """Register (or dedup) a study; returns ``(job, created)``.
+
+        An existing job with the same canonical hash is returned as-is
+        unless it FAILED — failures are not deterministic outcomes, so
+        a resubmission gets a fresh run.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("job manager is closed")
+            key = config_hash(config)
+            existing_id = self._by_hash.get(key)
+            if existing_id is not None:
+                existing = self._jobs[existing_id]
+                if existing.state != FAILED:
+                    return existing, False
+                self._by_hash.pop(key, None)
+            self._counter += 1
+            job = StudyJob(f"job-{self._counter:06d}", config, request_id)
+            self._jobs[job.id] = job
+            self._by_hash[key] = job.id
+        self._log_event("job_submitted", job)
+        self._queue.put((job, "run"))
+        return job, True
+
+    def get(self, job_id: str) -> StudyJob | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[StudyJob]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def cancel(self, job_id: str) -> StudyJob:
+        """Request cooperative cancellation (error if already terminal)."""
+        job = self._require(job_id)
+        if job.state in _TERMINAL:
+            raise ValueError(f"study {job_id} already {job.state}")
+        job.request_cancel()
+        self._log_event("job_cancel_requested", job)
+        return job
+
+    def resume(self, job_id: str, request_id: str = "") -> StudyJob:
+        """Re-enqueue a cancelled job, from its checkpoint if one exists."""
+        job = self._require(job_id)
+        if job.state != CANCELLED:
+            raise ValueError(
+                f"study {job_id} is {job.state}; only cancelled studies resume"
+            )
+        job.rearm()
+        if request_id:
+            job.request_id = request_id
+        mode = "resume" if job.checkpoint_path is not None else "run"
+        self._log_event("job_resubmitted", job)
+        self._queue.put((job, mode))
+        return job
+
+    def delete(self, job_id: str) -> StudyJob:
+        """Drop a job from the registry; a running session is cancelled
+        and its eventual output discarded."""
+        job = self._require(job_id)
+        with self._lock:
+            self._jobs.pop(job_id, None)
+            if self._by_hash.get(job.config_hash) == job.id:
+                self._by_hash.pop(job.config_hash, None)
+        with job._cond:
+            job.discard = True
+        if job.state in _ACTIVE:
+            job.request_cancel()
+        self._remove_checkpoint(job)
+        self._log_event("job_deleted", job)
+        return job
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Cancel running sessions, drain workers, join threads."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            jobs = list(self._jobs.values())
+        for job in jobs:
+            if job.state in _ACTIVE:
+                with job._cond:
+                    job.discard = True
+                job.request_cancel()
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout)
+
+    # -- internals ------------------------------------------------------
+
+    def _require(self, job_id: str) -> StudyJob:
+        job = self.get(job_id)
+        if job is None:
+            raise KeyError(f"no study {job_id!r}")
+        return job
+
+    def _log_event(
+        self, event: str, job: StudyJob, state: str | None = None
+    ) -> None:
+        # Terminal events are logged BEFORE the state flips, so a
+        # caller woken by job.wait() already sees the log line; `state`
+        # carries the state being entered.
+        self._log.info(
+            "%s",
+            json.dumps(
+                {
+                    "event": event,
+                    "job": job.id,
+                    "request_id": job.request_id,
+                    "state": state if state is not None else job.state,
+                    "config_hash": job.config_hash,
+                },
+                sort_keys=True,
+            ),
+        )
+
+    def _remove_checkpoint(self, job: StudyJob) -> None:
+        path = job.checkpoint_path
+        if path is not None:
+            Path(path).unlink(missing_ok=True)
+
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            job, mode = item
+            try:
+                self._execute(job, mode)
+            except Exception as exc:  # defensive: a worker must survive
+                self._log_event("job_failed", job, state=FAILED)
+                job._finish(FAILED, error=f"{type(exc).__name__}: {exc}")
+
+    def _execute(self, job: StudyJob, mode: str) -> None:
+        if job.cancel_requested and mode == "run" and not job.frames:
+            # Cancelled while still queued: nothing ran, nothing to keep.
+            self._log_event("job_cancelled", job, state=CANCELLED)
+            job._finish(CANCELLED)
+            return
+        try:
+            if mode == "resume":
+                study = Study.resume(job.checkpoint_path)
+            else:
+                study = Study(job.config)
+                study.build()
+        except Exception as exc:
+            self._log_event("job_failed", job, state=FAILED)
+            job._finish(FAILED, error=f"{type(exc).__name__}: {exc}")
+            return
+        with self._lock:
+            self._builds += 1
+        job._attach_study(study)
+        with job._cond:
+            job.state = RUNNING
+            job._cond.notify_all()
+        self._log_event("job_started", job)
+        try:
+            with study:
+                for record in study.iter_rounds():
+                    job._append_frame(record.to_json())
+                    if self._round_hook is not None:
+                        self._round_hook(job, record)
+                if (
+                    study.cancel_requested
+                    and study.rounds_completed < study.config.rounds
+                ):
+                    self._finish_cancelled(job, study)
+                else:
+                    result_json = study.result().to_json()
+                    self._log_event("job_done", job, state=DONE)
+                    job._finish(DONE, result_json=result_json)
+        except Exception as exc:
+            self._log_event("job_failed", job, state=FAILED)
+            job._finish(FAILED, error=f"{type(exc).__name__}: {exc}")
+
+    def _finish_cancelled(self, job: StudyJob, study: Study) -> None:
+        checkpoint_path: Path | None = None
+        if not job.discard:
+            checkpoint_path = self.checkpoint_dir / f"{job.id}.ckpt"
+            study.checkpoint(checkpoint_path)
+        self._log_event("job_cancelled", job, state=CANCELLED)
+        job._finish(CANCELLED, checkpoint_path=checkpoint_path)

@@ -1,0 +1,429 @@
+"""The service's middleware pipeline.
+
+The request path is an explicit, *ordered* composition of small
+stages, each owning one communication concern — the composable-stage
+middleware shape (mmb, arXiv:1904.11277) over plain callables::
+
+    RequestContextMiddleware      assign request id, propagate context
+      -> AccessLogMiddleware      one structured log line per request
+        -> MetricsMiddleware      latency/error counters (/metrics)
+          -> TokenBucketMiddleware  rate limiting (429 + Retry-After)
+            -> ResponseCacheMiddleware  dedup by canonical config hash
+              -> Router.dispatch  the application
+
+Every stage has the same signature — ``handle(ctx, request,
+call_next)`` — and takes an injectable monotonic ``clock`` where it
+measures time, so each is unit-testable in isolation with a fake
+clock (``tests/service/test_middleware.py``) and the composed order is
+visible in one place (:func:`build_pipeline` callers).
+
+The response cache leans on the determinism contract: an identical
+config + seed reproduces a study bit for bit, so a cache hit may
+return the stored response bytes without touching a simulator.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import logging
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.core.config import config_hash
+
+__all__ = [
+    "Request",
+    "Response",
+    "RequestContext",
+    "Middleware",
+    "RequestContextMiddleware",
+    "AccessLogMiddleware",
+    "MetricsMiddleware",
+    "TokenBucketMiddleware",
+    "ResponseCacheMiddleware",
+    "build_pipeline",
+    "json_response",
+]
+
+
+# -- request/response primitives ----------------------------------------
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request, transport-independent."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)  # lowercase keys
+    body: bytes = b""
+    client: str = ""
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+
+@dataclass
+class Response:
+    """One response: either ``body`` bytes or a streaming iterator."""
+
+    status: int = 200
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    stream: Iterator[bytes] | None = None
+    # Set by the application when the response may be replayed for an
+    # identical request (the cache middleware stores it then).
+    cacheable: bool = False
+
+
+@dataclass
+class RequestContext:
+    """Per-request context threaded through the pipeline and into the
+    application (the job manager records ``request_id`` in its logs)."""
+
+    request_id: str = ""
+    data: dict = field(default_factory=dict)
+
+
+def json_response(
+    payload: dict, status: int = 200, cacheable: bool = False
+) -> Response:
+    """Canonical JSON response: sorted keys, compact separators.
+
+    Canonical bytes are what make the cache's byte-identity contract
+    testable — the same payload always serializes identically.
+    """
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+    return Response(
+        status=status,
+        headers={"Content-Type": "application/json"},
+        body=body,
+        cacheable=cacheable,
+    )
+
+
+# -- pipeline composition -----------------------------------------------
+
+Handler = Callable[[RequestContext, Request], Response]
+
+
+class Middleware:
+    """One pipeline stage. Subclasses override :meth:`handle`."""
+
+    def handle(
+        self, ctx: RequestContext, request: Request, call_next: Handler
+    ) -> Response:
+        return call_next(ctx, request)
+
+
+def build_pipeline(middlewares: list[Middleware], handler: Handler) -> Handler:
+    """Compose stages around ``handler``; first in the list is outermost."""
+
+    def wrap(mw: Middleware, nxt: Handler) -> Handler:
+        def call(ctx: RequestContext, request: Request) -> Response:
+            return mw.handle(ctx, request, nxt)
+
+        return call
+
+    for mw in reversed(middlewares):
+        handler = wrap(mw, handler)
+    return handler
+
+
+# -- stages -------------------------------------------------------------
+
+
+class RequestContextMiddleware(Middleware):
+    """Assign a request id and echo it back as ``X-Request-ID``.
+
+    Ids are a monotone counter (``req-000001``), deterministic within a
+    service instance so tests can assert propagation end to end; a
+    client-supplied ``X-Request-ID`` header wins, as a gateway upstream
+    of this service would already have assigned one.
+    """
+
+    def __init__(self) -> None:
+        self._counter = itertools.count(1)
+        self._lock = threading.Lock()
+
+    def handle(self, ctx, request, call_next):
+        supplied = request.header("x-request-id")
+        if supplied:
+            ctx.request_id = supplied
+        else:
+            with self._lock:
+                ctx.request_id = f"req-{next(self._counter):06d}"
+        response = call_next(ctx, request)
+        response.headers.setdefault("X-Request-ID", ctx.request_id)
+        return response
+
+
+class AccessLogMiddleware(Middleware):
+    """One structured (JSON) log line per request on
+    ``repro.service.access``. For streaming responses the duration is
+    time-to-first-byte: the stream is produced after the handler
+    returns, and the log must not wait on a slow consumer."""
+
+    def __init__(
+        self,
+        logger: logging.Logger | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._log = logger or logging.getLogger("repro.service.access")
+        self._clock = clock
+
+    def handle(self, ctx, request, call_next):
+        start = self._clock()
+        response = call_next(ctx, request)
+        line = {
+            "request_id": ctx.request_id,
+            "method": request.method,
+            "path": request.path,
+            "status": response.status,
+            "duration_ms": round((self._clock() - start) * 1000.0, 3),
+            "client": request.client,
+        }
+        self._log.info("%s", json.dumps(line, sort_keys=True))
+        return response
+
+
+def _route_label(path: str) -> str:
+    """Collapse per-study paths to one metrics label (bounded cardinality)."""
+    parts = path.split("/")
+    if len(parts) >= 3 and parts[1] == "studies" and parts[2]:
+        parts[2] = "{id}"
+    return "/".join(parts)
+
+
+class MetricsMiddleware(Middleware):
+    """Request/latency/error counters with a text rendering.
+
+    Counters are keyed by ``(method, route, status)`` where ``route``
+    collapses study ids; latency is accumulated as sum + count per
+    ``(method, route)`` so consumers can derive means. ``render()``
+    produces the Prometheus-style exposition served at ``/metrics``.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._requests: dict[tuple[str, str, int], int] = {}
+        self._latency_ms: dict[tuple[str, str], float] = {}
+        self._latency_count: dict[tuple[str, str], int] = {}
+        self._errors: dict[tuple[str, str], int] = {}
+
+    def handle(self, ctx, request, call_next):
+        start = self._clock()
+        try:
+            response = call_next(ctx, request)
+        except Exception:
+            self._observe(request, 500, self._clock() - start)
+            raise
+        self._observe(request, response.status, self._clock() - start)
+        return response
+
+    def _observe(self, request: Request, status: int, elapsed: float) -> None:
+        route = _route_label(request.path)
+        with self._lock:
+            key = (request.method, route, status)
+            self._requests[key] = self._requests.get(key, 0) + 1
+            lkey = (request.method, route)
+            self._latency_ms[lkey] = (
+                self._latency_ms.get(lkey, 0.0) + elapsed * 1000.0
+            )
+            self._latency_count[lkey] = self._latency_count.get(lkey, 0) + 1
+            if status >= 500:
+                self._errors[lkey] = self._errors.get(lkey, 0) + 1
+
+    def counters(self) -> dict:
+        """Snapshot of all counters (tests and introspection)."""
+        with self._lock:
+            return {
+                "requests": dict(self._requests),
+                "latency_ms": dict(self._latency_ms),
+                "latency_count": dict(self._latency_count),
+                "errors": dict(self._errors),
+            }
+
+    def render(self) -> str:
+        """Prometheus-style text exposition."""
+        out: list[str] = []
+        with self._lock:
+            out.append("# TYPE repro_requests_total counter")
+            for (method, route, status), count in sorted(self._requests.items()):
+                out.append(
+                    "repro_requests_total"
+                    f'{{method="{method}",route="{route}",status="{status}"}}'
+                    f" {count}"
+                )
+            out.append("# TYPE repro_request_latency_ms summary")
+            for (method, route), total in sorted(self._latency_ms.items()):
+                label = f'{{method="{method}",route="{route}"}}'
+                out.append(f"repro_request_latency_ms_sum{label} {total:.3f}")
+                out.append(
+                    f"repro_request_latency_ms_count{label} "
+                    f"{self._latency_count[(method, route)]}"
+                )
+            out.append("# TYPE repro_errors_total counter")
+            for (method, route), count in sorted(self._errors.items()):
+                out.append(
+                    f'repro_errors_total{{method="{method}",route="{route}"}}'
+                    f" {count}"
+                )
+        return "\n".join(out) + "\n"
+
+
+class TokenBucketMiddleware(Middleware):
+    """Global token-bucket rate limiter.
+
+    A bucket of ``capacity`` tokens refills continuously at
+    ``refill_per_sec``; each non-exempt request spends one token, and
+    an empty bucket yields ``429`` with a ``Retry-After`` header (time
+    until one token, rounded up to whole seconds). Operational probes
+    (``/healthz``, ``/metrics``) are exempt by default so a saturated
+    service stays observable.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 50,
+        refill_per_sec: float = 25.0,
+        exempt: tuple[str, ...] = ("/healthz", "/metrics"),
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity <= 0 or refill_per_sec <= 0:
+            raise ValueError("capacity and refill_per_sec must be positive")
+        self.capacity = capacity
+        self.refill_per_sec = refill_per_sec
+        self._exempt = set(exempt)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._tokens = float(capacity)
+        self._last = clock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._last)
+        self._tokens = min(
+            float(self.capacity), self._tokens + elapsed * self.refill_per_sec
+        )
+        self._last = now
+
+    @property
+    def tokens(self) -> float:
+        """Current token count (refilled to now; for tests/inspection)."""
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens
+
+    def handle(self, ctx, request, call_next):
+        if request.path in self._exempt:
+            return call_next(ctx, request)
+        with self._lock:
+            self._refill(self._clock())
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                allowed = True
+                wait = 0.0
+            else:
+                allowed = False
+                wait = (1.0 - self._tokens) / self.refill_per_sec
+        if allowed:
+            return call_next(ctx, request)
+        retry_after = max(1, int(-(-wait // 1)))
+        response = json_response(
+            {"error": "rate limited", "retry_after": retry_after}, status=429
+        )
+        response.headers["Retry-After"] = str(retry_after)
+        return response
+
+
+def study_request_key(request: Request) -> str | None:
+    """Cache key for study submissions: the canonical config hash.
+
+    Only ``POST /studies`` bodies are keyed; anything unparsable
+    returns None (bypass — the application will reject it with 400).
+    """
+    if request.method != "POST" or request.path != "/studies":
+        return None
+    try:
+        payload = json.loads(request.body.decode("utf-8"))
+        return config_hash(payload)
+    except (ValueError, UnicodeDecodeError):
+        return None
+
+
+class ResponseCacheMiddleware(Middleware):
+    """Deterministic response cache keyed by canonical config hash.
+
+    Identical config + seed means an identical run, so the response to
+    a repeated study submission can be replayed byte for byte without
+    building a simulator. The computed key is stashed in
+    ``ctx.data["config_hash"]`` for the application (the job manager
+    dedups on the same key, so the two layers can never disagree).
+    LRU-evicts beyond ``max_entries``; only responses the application
+    marked ``cacheable`` (2xx submissions) are stored. Streaming
+    responses are never cached.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 128,
+        key_fn: Callable[[Request], str | None] = study_request_key,
+    ) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._key_fn = key_fn
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, tuple[int, dict, bytes]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def invalidate(self, key: str) -> None:
+        """Drop one entry (the app calls this when a study is deleted)."""
+        with self._lock:
+            self._entries.pop(key, None)
+
+    def handle(self, ctx, request, call_next):
+        key = self._key_fn(request)
+        if key is None:
+            return call_next(ctx, request)
+        ctx.data["config_hash"] = key
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                status, headers, body = entry
+            else:
+                self.misses += 1
+        if entry is not None:
+            headers = dict(headers)
+            headers["X-Cache"] = "hit"
+            return Response(status=status, headers=headers, body=body)
+        response = call_next(ctx, request)
+        if (
+            response.cacheable
+            and response.stream is None
+            and 200 <= response.status < 300
+        ):
+            with self._lock:
+                self._entries[key] = (
+                    response.status,
+                    dict(response.headers),
+                    response.body,
+                )
+                self._entries.move_to_end(key)
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+        response.headers.setdefault("X-Cache", "miss")
+        return response

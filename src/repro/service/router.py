@@ -1,0 +1,66 @@
+"""Minimal path router for the service endpoints.
+
+Routes are registered as ``(method, pattern)`` pairs where pattern
+segments like ``{id}`` capture path parameters. Dispatch separates
+404 (no pattern matches the path) from 405 (pattern exists, method
+does not, with an ``Allow`` header) — the distinction the tests pin.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.service.middleware import Request, RequestContext, Response, json_response
+
+__all__ = ["Router"]
+
+RouteHandler = Callable[[RequestContext, Request, dict], Response]
+
+
+class Router:
+    def __init__(self) -> None:
+        # pattern segments -> {method -> handler}
+        self._routes: list[tuple[tuple[str, ...], dict[str, RouteHandler]]] = []
+
+    def add(self, method: str, pattern: str, handler: RouteHandler) -> None:
+        segments = tuple(pattern.strip("/").split("/"))
+        for existing, methods in self._routes:
+            if existing == segments:
+                methods[method.upper()] = handler
+                return
+        self._routes.append((segments, {method.upper(): handler}))
+
+    @staticmethod
+    def _match(segments: tuple[str, ...], path: str) -> dict | None:
+        parts = path.strip("/").split("/")
+        if len(parts) != len(segments):
+            return None
+        params: dict[str, str] = {}
+        for seg, part in zip(segments, parts):
+            if seg.startswith("{") and seg.endswith("}"):
+                if not part:
+                    return None
+                params[seg[1:-1]] = part
+            elif seg != part:
+                return None
+        return params
+
+    def dispatch(self, ctx: RequestContext, request: Request) -> Response:
+        allowed: set[str] = set()
+        for segments, methods in self._routes:
+            params = self._match(segments, request.path)
+            if params is None:
+                continue
+            handler = methods.get(request.method)
+            if handler is not None:
+                return handler(ctx, request, params)
+            allowed.update(methods)
+        if allowed:
+            response = json_response(
+                {"error": f"method {request.method} not allowed"}, status=405
+            )
+            response.headers["Allow"] = ", ".join(sorted(allowed))
+            return response
+        return json_response(
+            {"error": f"no route for {request.path}"}, status=404
+        )

@@ -1,0 +1,87 @@
+"""Server-sent-event framing.
+
+One round of a running study is one SSE event::
+
+    id: 3
+    event: round
+    data: {"round_index":3,...}
+
+``data`` is exactly :meth:`RoundRecord.to_json` — single-line,
+sorted-keys JSON — so the frames a client collects are bit-identical
+to the records a local :func:`run_study` produces (the service's
+determinism contract, gated by ``tests/service/test_contract.py``).
+The stream ends with an ``end`` event whose data reports the job's
+terminal state. :func:`parse_sse_stream` is the matching minimal
+client-side parser, used by the test harness and the smoke tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = ["SSEvent", "format_event", "parse_sse_stream"]
+
+
+@dataclass
+class SSEvent:
+    """One parsed server-sent event."""
+
+    data: str = ""
+    event: str | None = None
+    id: str | None = None
+    _data_lines: list[str] = field(default_factory=list, repr=False)
+
+    @property
+    def empty(self) -> bool:
+        return not self._data_lines and self.event is None and self.id is None
+
+
+def format_event(
+    data: str, event: str | None = None, event_id: str | None = None
+) -> bytes:
+    """Encode one event as wire bytes (trailing blank line included)."""
+    lines: list[str] = []
+    if event_id is not None:
+        lines.append(f"id: {event_id}")
+    if event is not None:
+        lines.append(f"event: {event}")
+    # Multi-line payloads become several data: lines; the parser joins
+    # them back with \n per the SSE spec. Round frames are single-line.
+    for chunk in data.split("\n"):
+        lines.append(f"data: {chunk}")
+    return ("\n".join(lines) + "\n\n").encode("utf-8")
+
+
+def parse_sse_stream(lines: Iterable[str]) -> Iterator[SSEvent]:
+    """Yield :class:`SSEvent` objects from an iterable of text lines.
+
+    Accepts lines with or without trailing newlines (``readline``-style
+    iteration over a socket file works directly). Comment lines
+    (leading ``:``) are ignored; an event is emitted at each blank
+    line, exactly as browsers parse ``text/event-stream``.
+    """
+    current = SSEvent()
+    for raw in lines:
+        line = raw.rstrip("\r\n") if isinstance(raw, str) else raw.decode(
+            "utf-8"
+        ).rstrip("\r\n")
+        if not line:
+            if not current.empty:
+                current.data = "\n".join(current._data_lines)
+                yield current
+            current = SSEvent()
+            continue
+        if line.startswith(":"):
+            continue
+        name, _, value = line.partition(":")
+        value = value[1:] if value.startswith(" ") else value
+        if name == "data":
+            current._data_lines.append(value)
+        elif name == "event":
+            current.event = value
+        elif name == "id":
+            current.id = value
+    if not current.empty:
+        current.data = "\n".join(current._data_lines)
+        yield current

@@ -351,3 +351,73 @@ class TestLatencyStudy:
         np.testing.assert_allclose(
             a.series("mia_accuracy"), b.series("mia_accuracy")
         )
+
+
+class TestCancelHook:
+    """The thread-safe cancel hook the service layer drives."""
+
+    def test_cancel_stops_at_next_round_boundary(self):
+        with Study(tiny_config(rounds=4)) as study:
+            rounds = study.iter_rounds()
+            next(rounds)
+            study.request_cancel()
+            remaining = list(rounds)
+        assert remaining == []
+        assert study.rounds_completed == 1
+        assert study.cancel_requested
+        # The partial run is still a valid result.
+        assert len(study.result().rounds) == 1
+
+    def test_cancel_before_start_yields_nothing(self):
+        with Study(tiny_config()) as study:
+            study.request_cancel()
+            assert list(study.iter_rounds()) == []
+            assert study.rounds_completed == 0
+
+    def test_cancel_from_another_thread(self):
+        import threading
+
+        started = threading.Event()
+        with Study(tiny_config(rounds=4)) as study:
+            def cancel_soon():
+                started.wait(30)
+                study.request_cancel()
+            thread = threading.Thread(target=cancel_soon)
+            thread.start()
+            seen = 0
+            for _ in study.iter_rounds():
+                seen += 1
+                started.set()
+            thread.join()
+        # The cancel lands at some boundary before the horizon's end...
+        assert 1 <= seen <= 4
+        # ...and a cancelled session never finalizes early-stop state,
+        # so clear_cancel + iter_rounds resumes to the horizon.
+        study2 = Study(tiny_config(rounds=4))
+        with study2:
+            rows = study2.iter_rounds()
+            next(rows)
+            study2.request_cancel()
+            assert list(rows) == []
+            study2.clear_cancel()
+            assert not study2.cancel_requested
+            total = 1 + len(list(study2.iter_rounds()))
+        assert total == 4
+
+    def test_cancelled_study_checkpoint_resumes_bit_identical(self, tmp_path):
+        config = tiny_config(rounds=3)
+        expected = run_study(config)
+
+        with Study(config) as study:
+            rounds = study.iter_rounds()
+            next(rounds)
+            study.request_cancel()
+            assert list(rounds) == []
+            path = study.checkpoint(tmp_path / "cancelled.ckpt")
+
+        resumed = Study.resume(path)
+        with resumed:
+            for _ in resumed.iter_rounds():
+                pass
+            result = resumed.result()
+        assert result.to_json() == expected.to_json()

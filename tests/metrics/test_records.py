@@ -1,5 +1,7 @@
 """Tests for round records and run aggregation."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -164,3 +166,41 @@ class TestJSONRoundTrip:
             RunResult.from_json("{not json")
         with pytest.raises(ValueError, match="not a serialized RunResult"):
             RunResult.from_json('{"no": "rounds"}')
+
+
+class TestRoundRecordJSONFrames:
+    """RoundRecord.to_json is the service's SSE frame format."""
+
+    def make_record(self) -> RoundRecord:
+        return RoundRecord(
+            round_index=3,
+            global_test_accuracy=1 / 3,
+            local_train_accuracy=0.75,
+            local_test_accuracy=0.5,
+            mia_accuracy=0.6180339887498949,
+            mia_tpr_at_1_fpr=0.02,
+            mia_auc=0.66,
+            max_mia_tpr_at_1_fpr=0.09,
+            canary_tpr_at_1_fpr=None,
+            messages_sent=123,
+            epsilon=None,
+            model_spread=1e-7,
+        )
+
+    def test_single_line_sorted_keys(self):
+        frame = self.make_record().to_json()
+        assert "\n" not in frame
+        keys = list(json.loads(frame))
+        assert keys == sorted(keys)
+
+    def test_round_trip_bit_exact(self):
+        record = self.make_record()
+        restored = RoundRecord.from_json(record.to_json())
+        assert restored == record  # dataclass equality: exact floats
+        assert restored.to_json() == record.to_json()
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(ValueError, match="not a serialized RoundRecord"):
+            RoundRecord.from_json("{broken")
+        with pytest.raises(ValueError, match="not a serialized RoundRecord"):
+            RoundRecord.from_json('["a", "list"]')

@@ -1,0 +1,370 @@
+"""Middleware unit tests — each stage in isolation with a fake clock,
+then the composed pipeline (request-id propagation into job logs)."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro.core.config import config_hash
+from repro.core.study import StudyConfig
+from repro.service.middleware import (
+    AccessLogMiddleware,
+    MetricsMiddleware,
+    Request,
+    RequestContext,
+    RequestContextMiddleware,
+    Response,
+    ResponseCacheMiddleware,
+    TokenBucketMiddleware,
+    build_pipeline,
+    json_response,
+)
+
+from tests.service.conftest import tiny_study_payload
+
+
+class FakeClock:
+    """Deterministic monotonic clock for middleware tests."""
+
+    def __init__(self, start: float = 100.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def run(middleware, request, handler=None, ctx=None):
+    """Run one request through a single-stage pipeline."""
+    handler = handler or (lambda ctx, req: json_response({"ok": True}))
+    pipeline = build_pipeline([middleware], handler)
+    return pipeline(ctx or RequestContext(), request)
+
+
+def req(method="GET", path="/studies", body=b"", headers=None):
+    return Request(method=method, path=path, body=body, headers=headers or {})
+
+
+# -- config_hash canonicalization ---------------------------------------
+
+
+class TestConfigHash:
+    def test_stable_across_dict_ordering(self):
+        payload = tiny_study_payload()
+        reordered = dict(reversed(list(payload.items())))
+        assert list(payload) != list(reordered)  # the reorder is real
+        assert config_hash(payload) == config_hash(reordered)
+
+    def test_flat_and_grouped_spellings_agree(self):
+        flat = tiny_study_payload()
+        grouped = StudyConfig.from_dict(flat).to_dict()
+        assert set(grouped) == {
+            "name", "seed", "data", "model", "topology", "execution", "privacy"
+        }
+        assert config_hash(flat) == config_hash(grouped)
+
+    def test_defaults_hash_like_explicit_values(self):
+        implicit = tiny_study_payload()
+        explicit = tiny_study_payload(engine="flat", executor="serial")
+        assert config_hash(implicit) == config_hash(explicit)
+
+    def test_config_object_matches_payload(self):
+        payload = tiny_study_payload()
+        config = StudyConfig.from_dict(payload)
+        assert config.config_hash() == config_hash(payload)
+
+    def test_different_seed_different_hash(self):
+        assert config_hash(tiny_study_payload(seed=0)) != config_hash(
+            tiny_study_payload(seed=1)
+        )
+
+    def test_hash_is_hex_sha256(self):
+        digest = config_hash(tiny_study_payload())
+        assert len(digest) == 64
+        int(digest, 16)  # parses as hex
+
+
+# -- request context ----------------------------------------------------
+
+
+class TestRequestContextMiddleware:
+    def test_assigns_sequential_ids_and_echoes_header(self):
+        mw = RequestContextMiddleware()
+        seen = []
+        handler = lambda ctx, r: (seen.append(ctx.request_id), json_response({}))[1]
+        first = run(mw, req(), handler)
+        second = run(mw, req(), handler)
+        assert seen == ["req-000001", "req-000002"]
+        assert first.headers["X-Request-ID"] == "req-000001"
+        assert second.headers["X-Request-ID"] == "req-000002"
+
+    def test_client_supplied_id_wins(self):
+        mw = RequestContextMiddleware()
+        response = run(mw, req(headers={"x-request-id": "upstream-7"}))
+        assert response.headers["X-Request-ID"] == "upstream-7"
+
+
+# -- access log ---------------------------------------------------------
+
+
+class TestAccessLogMiddleware:
+    def test_logs_one_structured_line_with_duration(self, caplog):
+        clock = FakeClock()
+
+        def handler(ctx, request):
+            clock.advance(0.25)
+            return json_response({}, status=201)
+
+        mw = AccessLogMiddleware(clock=clock)
+        ctx = RequestContext(request_id="req-000009")
+        with caplog.at_level(logging.INFO, logger="repro.service.access"):
+            run(mw, req(method="POST", path="/studies"), handler, ctx=ctx)
+        assert len(caplog.records) == 1
+        line = json.loads(caplog.records[0].getMessage())
+        assert line == {
+            "request_id": "req-000009",
+            "method": "POST",
+            "path": "/studies",
+            "status": 201,
+            "duration_ms": 250.0,
+            "client": "",
+        }
+
+
+# -- metrics ------------------------------------------------------------
+
+
+class TestMetricsMiddleware:
+    def test_counts_requests_latency_and_errors(self):
+        clock = FakeClock()
+        mw = MetricsMiddleware(clock=clock)
+
+        def ok(ctx, request):
+            clock.advance(0.010)
+            return json_response({})
+
+        run(mw, req(path="/studies/job-000001/stream"), ok)
+        run(mw, req(path="/studies/job-000002/stream"), ok)
+        run(mw, req(path="/healthz"), ok)
+        counters = mw.counters()
+        # Study ids collapse to one bounded-cardinality route label.
+        assert counters["requests"][("GET", "/studies/{id}/stream", 200)] == 2
+        assert counters["requests"][("GET", "/healthz", 200)] == 1
+        assert counters["latency_ms"][("GET", "/studies/{id}/stream")] == (
+            pytest.approx(20.0)
+        )
+        assert counters["latency_count"][("GET", "/studies/{id}/stream")] == 2
+        assert counters["errors"] == {}
+
+    def test_counts_5xx_and_raised_exceptions(self):
+        mw = MetricsMiddleware(clock=FakeClock())
+        run(mw, req(), lambda ctx, r: json_response({}, status=503))
+        def boom(ctx, request):
+            raise RuntimeError("handler crash")
+        with pytest.raises(RuntimeError):
+            run(mw, req(), boom)
+        counters = mw.counters()
+        assert counters["errors"][("GET", "/studies")] == 2
+        assert counters["requests"][("GET", "/studies", 500)] == 1
+
+    def test_render_is_prometheus_style(self):
+        mw = MetricsMiddleware(clock=FakeClock())
+        run(mw, req(path="/healthz"))
+        text = mw.render()
+        assert (
+            'repro_requests_total{method="GET",route="/healthz",status="200"} 1'
+            in text
+        )
+        assert 'repro_request_latency_ms_count{method="GET",route="/healthz"} 1' in text
+
+
+# -- token bucket -------------------------------------------------------
+
+
+class TestTokenBucketMiddleware:
+    def test_burst_then_429_then_refill(self):
+        clock = FakeClock()
+        mw = TokenBucketMiddleware(capacity=2, refill_per_sec=1.0, clock=clock)
+        assert run(mw, req()).status == 200
+        assert run(mw, req()).status == 200
+        rejected = run(mw, req())
+        assert rejected.status == 429
+        assert rejected.headers["Retry-After"] == "1"
+        assert json.loads(rejected.body)["error"] == "rate limited"
+        clock.advance(1.0)  # one token back
+        assert run(mw, req()).status == 200
+        assert run(mw, req()).status == 429
+
+    def test_refill_caps_at_capacity(self):
+        clock = FakeClock()
+        mw = TokenBucketMiddleware(capacity=2, refill_per_sec=5.0, clock=clock)
+        clock.advance(60.0)  # a long idle period must not overfill
+        assert mw.tokens == pytest.approx(2.0)
+        assert run(mw, req()).status == 200
+        assert run(mw, req()).status == 200
+        assert run(mw, req()).status == 429
+
+    def test_retry_after_rounds_up_slow_refills(self):
+        clock = FakeClock()
+        mw = TokenBucketMiddleware(capacity=1, refill_per_sec=0.25, clock=clock)
+        assert run(mw, req()).status == 200
+        rejected = run(mw, req())
+        assert rejected.status == 429
+        assert rejected.headers["Retry-After"] == "4"  # 1 token / 0.25 per s
+
+    def test_operational_endpoints_exempt(self):
+        clock = FakeClock()
+        mw = TokenBucketMiddleware(capacity=1, refill_per_sec=0.01, clock=clock)
+        assert run(mw, req()).status == 200  # bucket now empty
+        assert run(mw, req(path="/healthz")).status == 200
+        assert run(mw, req(path="/metrics")).status == 200
+        assert run(mw, req()).status == 429
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucketMiddleware(capacity=0)
+        with pytest.raises(ValueError):
+            TokenBucketMiddleware(refill_per_sec=0.0)
+
+
+# -- response cache -----------------------------------------------------
+
+
+def study_request(payload: dict) -> Request:
+    return Request(
+        method="POST", path="/studies", body=json.dumps(payload).encode()
+    )
+
+
+class TestResponseCacheMiddleware:
+    def test_hit_replays_stored_bytes(self):
+        mw = ResponseCacheMiddleware(max_entries=4)
+        calls = []
+
+        def handler(ctx, request):
+            calls.append(ctx.data["config_hash"])
+            return json_response({"id": "job-1"}, cacheable=True)
+
+        request = study_request(tiny_study_payload())
+        miss = run(mw, request, handler)
+        hit = run(mw, request, handler)
+        assert len(calls) == 1  # second request never reached the app
+        assert miss.headers["X-Cache"] == "miss"
+        assert hit.headers["X-Cache"] == "hit"
+        assert hit.body == miss.body
+        assert (mw.hits, mw.misses) == (1, 1)
+
+    def test_key_is_canonical_not_textual(self):
+        """Reordered / re-spelled configs hit the same entry."""
+        mw = ResponseCacheMiddleware(max_entries=4)
+        calls = []
+
+        def handler(ctx, request):
+            calls.append(1)
+            return json_response({"id": "job-1"}, cacheable=True)
+
+        flat = tiny_study_payload()
+        run(mw, study_request(flat), handler)
+        grouped = StudyConfig.from_dict(flat).to_dict()
+        hit = run(mw, study_request(grouped), handler)
+        assert len(calls) == 1
+        assert hit.headers["X-Cache"] == "hit"
+
+    def test_lru_eviction_prefers_recently_used(self):
+        mw = ResponseCacheMiddleware(max_entries=2)
+        handler = lambda ctx, r: json_response({"ok": 1}, cacheable=True)
+        first = study_request(tiny_study_payload(seed=1))
+        second = study_request(tiny_study_payload(seed=2))
+        third = study_request(tiny_study_payload(seed=3))
+        run(mw, first, handler)
+        run(mw, second, handler)
+        run(mw, first, handler)  # touch: first is now most recent
+        run(mw, third, handler)  # evicts second (least recently used)
+        assert len(mw) == 2
+        assert run(mw, first, handler).headers["X-Cache"] == "hit"
+        assert run(mw, second, handler).headers["X-Cache"] == "miss"
+
+    def test_uncacheable_and_error_responses_not_stored(self):
+        mw = ResponseCacheMiddleware(max_entries=4)
+        request = study_request(tiny_study_payload())
+        run(mw, request, lambda ctx, r: json_response({}, status=400))
+        run(mw, request, lambda ctx, r: json_response({}))  # not marked
+        assert len(mw) == 0
+
+    def test_non_study_requests_bypass(self):
+        mw = ResponseCacheMiddleware(max_entries=4)
+        handler_calls = []
+
+        def handler(ctx, request):
+            handler_calls.append(request.path)
+            return json_response({}, cacheable=True)
+
+        run(mw, req(method="GET", path="/healthz"), handler)
+        run(mw, req(method="GET", path="/healthz"), handler)
+        assert handler_calls == ["/healthz", "/healthz"]
+        assert len(mw) == 0
+
+    def test_unparsable_body_bypasses(self):
+        mw = ResponseCacheMiddleware(max_entries=4)
+        bad = Request(method="POST", path="/studies", body=b"{not json")
+        response = run(mw, bad, lambda ctx, r: json_response({}, status=400))
+        assert response.status == 400
+        assert len(mw) == 0
+
+    def test_invalidate_drops_entry(self):
+        mw = ResponseCacheMiddleware(max_entries=4)
+        handler = lambda ctx, r: json_response({}, cacheable=True)
+        request = study_request(tiny_study_payload())
+        run(mw, request, handler)
+        mw.invalidate(config_hash(tiny_study_payload()))
+        assert run(mw, request, handler).headers["X-Cache"] == "miss"
+
+
+# -- the composed pipeline ---------------------------------------------
+
+
+class TestComposedPipeline:
+    def test_request_id_propagates_into_job_logs(self, make_service, caplog):
+        """The id minted by the outermost stage reaches the job
+        manager's structured log lines — context propagation across
+        the whole stack, pinned end to end."""
+        service = make_service()
+        from repro.service.middleware import Request as Req
+
+        with caplog.at_level(logging.INFO, logger="repro.service.jobs"):
+            response = service.handle(
+                Req(
+                    method="POST",
+                    path="/studies",
+                    body=json.dumps(tiny_study_payload()).encode(),
+                )
+            )
+            job_id = json.loads(response.body)["id"]
+            assert service.manager.get(job_id).wait(120) == "done"
+        request_id = response.headers["X-Request-ID"]
+        assert request_id.startswith("req-")
+        events = [
+            json.loads(r.getMessage())
+            for r in caplog.records
+            if r.name == "repro.service.jobs"
+        ]
+        by_event = {e["event"] for e in events}
+        assert {"job_submitted", "job_started", "job_done"} <= by_event
+        assert all(e["request_id"] == request_id for e in events)
+        assert all(e["job"] == job_id for e in events)
+
+    def test_rate_limited_requests_are_counted_in_metrics(self, make_service):
+        """Order contract: metrics sits outside the limiter, so 429s
+        are observable."""
+        service = make_service(rate_capacity=1, rate_refill=0.001)
+        from repro.service.middleware import Request as Req
+
+        assert service.handle(Req("GET", "/studies")).status == 200
+        assert service.handle(Req("GET", "/studies")).status == 429
+        counters = service.metrics.counters()
+        assert counters["requests"][("GET", "/studies", 429)] == 1

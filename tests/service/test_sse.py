@@ -1,0 +1,51 @@
+"""SSE framing unit tests: format/parse round-trip fidelity."""
+
+from __future__ import annotations
+
+from repro.service.sse import SSEvent, format_event, parse_sse_stream
+
+
+def roundtrip(wire: bytes) -> list[SSEvent]:
+    text = wire.decode("utf-8")
+    return list(parse_sse_stream(line + "\n" for line in text.split("\n")))
+
+
+class TestFormatEvent:
+    def test_full_event_layout(self):
+        wire = format_event('{"a":1}', event="round", event_id="3")
+        assert wire == b'id: 3\nevent: round\ndata: {"a":1}\n\n'
+
+    def test_data_only(self):
+        assert format_event("x") == b"data: x\n\n"
+
+    def test_multiline_data_becomes_multiple_data_lines(self):
+        assert format_event("a\nb") == b"data: a\ndata: b\n\n"
+
+
+class TestParseSSEStream:
+    def test_round_trips_formatted_events(self):
+        wire = format_event('{"k":1}', event="round", event_id="0")
+        wire += format_event("done", event="end")
+        events = roundtrip(wire)
+        assert [(e.event, e.id, e.data) for e in events] == [
+            ("round", "0", '{"k":1}'),
+            ("end", None, "done"),
+        ]
+
+    def test_multiline_data_joined_with_newline(self):
+        events = roundtrip(format_event("a\nb"))
+        assert events[0].data == "a\nb"
+
+    def test_comments_and_blank_runs_ignored(self):
+        lines = [": keepalive\n", "\n", "\n", "data: x\n", "\n"]
+        events = list(parse_sse_stream(lines))
+        assert len(events) == 1
+        assert events[0].data == "x"
+
+    def test_bytes_lines_accepted(self):
+        events = list(parse_sse_stream([b"data: x\r\n", b"\r\n"]))
+        assert events[0].data == "x"
+
+    def test_unterminated_final_event_still_yielded(self):
+        events = list(parse_sse_stream(["event: end\n", "data: x\n"]))
+        assert [(e.event, e.data) for e in events] == [("end", "x")]

@@ -181,6 +181,50 @@ class TestStudyCheckpointResume:
             assert float(row["model_spread"]) == record.model_spread
 
 
+class TestServe:
+    def test_serve_parses_and_forwards_options(self, monkeypatch):
+        captured = {}
+
+        def fake_serve(**kwargs):
+            captured.update(kwargs)
+            return 0
+
+        import repro.service
+
+        monkeypatch.setattr(repro.service, "serve", fake_serve)
+        code = main([
+            "serve", "--host", "0.0.0.0", "--port", "0",
+            "--job-workers", "3", "--rate-capacity", "7",
+            "--rate-refill", "1.5", "--cache-entries", "9",
+            "--checkpoint-dir", "/tmp/ck",
+        ])
+        assert code == 0
+        assert captured == {
+            "host": "0.0.0.0",
+            "port": 0,
+            "job_workers": 3,
+            "rate_capacity": 7,
+            "rate_refill": 1.5,
+            "cache_entries": 9,
+            "checkpoint_dir": "/tmp/ck",
+        }
+
+    def test_serve_defaults(self, monkeypatch):
+        captured = {}
+
+        def fake_serve(**kwargs):
+            captured.update(kwargs)
+            return 0
+
+        import repro.service
+
+        monkeypatch.setattr(repro.service, "serve", fake_serve)
+        assert main(["serve"]) == 0
+        assert captured["host"] == "127.0.0.1"
+        assert captured["port"] == 8000
+        assert captured["checkpoint_dir"] is None
+
+
 class TestCampaign:
     def test_grid_campaign_runs_and_persists(self, tmp_path, capsys):
         out_dir = tmp_path / "camp"

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the study service over real sockets.
+
+Boots the HTTP front end on an ephemeral port, submits a tiny study,
+streams its round records over SSE, resubmits the same config and
+verifies the response is a byte-identical cache hit that triggered no
+additional simulator build, then shuts everything down and checks that
+no worker processes were leaked.
+
+Exit status 0 on success; any assertion failure is fatal.  Used by
+`make serve-smoke` and CI.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import multiprocessing
+import sys
+import threading
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.service import StudyService, make_server  # noqa: E402
+from repro.service.sse import parse_sse_stream  # noqa: E402
+
+SMOKE_PAYLOAD = {
+    "dataset": "purchase100",
+    "n_train": 600,
+    "n_test": 150,
+    "num_features": 64,
+    "n_nodes": 6,
+    "view_size": 2,
+    "rounds": 2,
+    "train_per_node": 24,
+    "test_per_node": 12,
+    "mlp_hidden": [32, 16],
+    "local_epochs": 1,
+    "batch_size": 12,
+    "max_attack_samples": 32,
+    "max_global_test": 64,
+    "seed": 0,
+    "name": "serve-smoke",
+}
+
+
+def request(port: int, method: str, path: str, body: bytes | None = None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    try:
+        headers = {"Content-Type": "application/json"} if body else {}
+        conn.request(method, path, body=body, headers=headers)
+        resp = conn.getresponse()
+        return resp.status, dict(resp.getheaders()), resp.read()
+    finally:
+        conn.close()
+
+
+def main() -> int:
+    service = StudyService(job_workers=1)
+    server = make_server(service, "127.0.0.1", 0)
+    port = server.server_address[1]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    print(f"serve-smoke: listening on 127.0.0.1:{port}")
+    try:
+        status, _, body = request(port, "GET", "/healthz")
+        assert status == 200, f"healthz -> {status}"
+
+        payload = json.dumps(SMOKE_PAYLOAD).encode("utf-8")
+        status, headers, miss_body = request(port, "POST", "/studies", payload)
+        assert status == 200, f"submit -> {status}: {miss_body!r}"
+        assert headers["X-Cache"] == "miss", headers
+        job_id = json.loads(miss_body)["id"]
+
+        # Stream the run live over SSE: every round frame is a full
+        # RoundRecord, and the stream closes with an `end` event.
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+        conn.request("GET", f"/studies/{job_id}/stream")
+        resp = conn.getresponse()
+        assert resp.status == 200, f"stream -> {resp.status}"
+        events = list(parse_sse_stream(iter(resp.readline, b"")))
+        conn.close()
+        rounds = [e for e in events if e.event == "round"]
+        assert len(rounds) == SMOKE_PAYLOAD["rounds"], events
+        for event in rounds:
+            record = json.loads(event.data)
+            assert 0.0 <= record["mia_accuracy"] <= 1.0, record
+        assert events[-1].event == "end", events
+        print(f"serve-smoke: streamed {len(rounds)} round frames")
+
+        # Identical resubmission: byte-identical cache hit, zero builds.
+        status, headers, hit_body = request(port, "POST", "/studies", payload)
+        assert status == 200 and headers["X-Cache"] == "hit", headers
+        assert hit_body == miss_body, "cache hit not byte-identical"
+        assert service.manager.builds_performed == 1, (
+            f"expected 1 build, saw {service.manager.builds_performed}"
+        )
+        print("serve-smoke: cache hit byte-identical, builds_performed=1")
+
+        status, _, metrics = request(port, "GET", "/metrics")
+        assert status == 200 and b"repro_requests_total" in metrics
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=30)
+        service.close()
+    assert multiprocessing.active_children() == [], "leaked worker processes"
+    print("serve-smoke: clean shutdown, no leaked workers")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
