@@ -258,7 +258,12 @@ def _add_serve_parser(sub: argparse._SubParsersAction) -> None:
                    help="response-cache size (LRU, keyed by config hash)")
     p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                    help="where cancelled studies checkpoint for resume "
-                        "(default: a private temporary directory)")
+                        "(default: under --state-dir if given, else a "
+                        "private temporary directory)")
+    p.add_argument("--state-dir", default=None, metavar="DIR",
+                   help="durable job state (journal + snapshot + "
+                        "checkpoints); the service recovers submitted "
+                        "studies from here after a restart")
 
 
 def _run_serve(args: argparse.Namespace) -> int:
@@ -272,6 +277,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         rate_refill=args.rate_refill,
         cache_entries=args.cache_entries,
         checkpoint_dir=args.checkpoint_dir,
+        state_dir=args.state_dir,
     )
 
 

@@ -14,6 +14,7 @@ from repro.service.app import StudyService, make_server, serve
 from repro.service.jobs import JobManager, StudyJob
 from repro.service.middleware import (
     AccessLogMiddleware,
+    ErrorBoundaryMiddleware,
     MetricsMiddleware,
     Request,
     RequestContext,
@@ -23,6 +24,7 @@ from repro.service.middleware import (
     TokenBucketMiddleware,
     build_pipeline,
 )
+from repro.service.persistence import JobJournal, load_state
 from repro.service.router import Router
 from repro.service.sse import SSEvent, format_event, parse_sse_stream
 
@@ -41,6 +43,9 @@ __all__ = [
     "MetricsMiddleware",
     "TokenBucketMiddleware",
     "ResponseCacheMiddleware",
+    "ErrorBoundaryMiddleware",
+    "JobJournal",
+    "load_state",
     "build_pipeline",
     "SSEvent",
     "format_event",

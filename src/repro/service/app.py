@@ -36,6 +36,7 @@ from repro.core.study import StudyConfig
 from repro.service.jobs import DONE, FAILED, JobManager, StudyJob
 from repro.service.middleware import (
     AccessLogMiddleware,
+    ErrorBoundaryMiddleware,
     MetricsMiddleware,
     Request,
     RequestContext,
@@ -64,16 +65,26 @@ class StudyService:
         cache_entries: int = 128,
         clock: Callable[[], float] = time.monotonic,
         round_hook: Callable[[StudyJob, object], None] | None = None,
+        state_dir: str | Path | None = None,
+        checkpoint_hook: Callable[[StudyJob], None] | None = None,
     ) -> None:
         self._tmpdir: tempfile.TemporaryDirectory | None = None
-        if checkpoint_dir is None:
+        if checkpoint_dir is None and state_dir is None:
             self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-service-")
             checkpoint_dir = self._tmpdir.name
+        self.cache = ResponseCacheMiddleware(max_entries=cache_entries)
         self.manager = JobManager(
-            checkpoint_dir, workers=job_workers, round_hook=round_hook
+            checkpoint_dir,
+            workers=job_workers,
+            round_hook=round_hook,
+            state_dir=state_dir,
+            checkpoint_hook=checkpoint_hook,
+            # Invalidate before the state flips to FAILED, so a waiter
+            # that observes the failure already sees a clean cache and
+            # its resubmission triggers the fresh run submit() promises.
+            on_failed=lambda job: self.cache.invalidate(job.config_hash),
         )
         self.metrics = MetricsMiddleware(clock=clock)
-        self.cache = ResponseCacheMiddleware(max_entries=cache_entries)
         self.limiter = TokenBucketMiddleware(
             capacity=rate_capacity, refill_per_sec=rate_refill, clock=clock
         )
@@ -88,9 +99,12 @@ class StudyService:
                 self.metrics,
                 self.limiter,
                 self.cache,
+                ErrorBoundaryMiddleware(),
             ],
             self.router.dispatch,
         )
+        if self.manager.recovered_jobs:
+            self._warm_cache()
 
     def handle(self, request: Request) -> Response:
         """Run one request through the full pipeline (any transport)."""
@@ -140,6 +154,10 @@ class StudyService:
         except (ValueError, TypeError) as exc:
             return json_response({"error": str(exc)}, status=400)
         job, _created = self.manager.submit(config, request_id=ctx.request_id)
+        return self._submission_response(job)
+
+    @staticmethod
+    def _submission_response(job: StudyJob) -> Response:
         # Deterministic body: same config -> same job (dedup) -> same
         # bytes, whether it comes from the cache or is regenerated.
         return json_response(
@@ -152,6 +170,22 @@ class StudyService:
             },
             cacheable=True,
         )
+
+    def _warm_cache(self) -> None:
+        """Rebuild the response cache from the recovered dedup index.
+
+        Each non-FAILED job that owns its config hash gets its
+        canonical ``POST /studies`` body regenerated and seeded, so a
+        client resubmitting a pre-restart config is served the same
+        bytes a pre-restart cache hit would have produced. FAILED jobs
+        are skipped for the same reason live failures invalidate: their
+        resubmission must reach ``submit()`` and build fresh.
+        """
+        index = self.manager.hash_index()
+        for job in self.manager.recovered_jobs:
+            if job.state == FAILED or index.get(job.config_hash) != job.id:
+                continue
+            self.cache.seed(job.config_hash, self._submission_response(job))
 
     def _list_studies(self, ctx, request, params) -> Response:
         return json_response(

@@ -9,7 +9,8 @@ middleware shape (mmb, arXiv:1904.11277) over plain callables::
         -> MetricsMiddleware      latency/error counters (/metrics)
           -> TokenBucketMiddleware  rate limiting (429 + Retry-After)
             -> ResponseCacheMiddleware  dedup by canonical config hash
-              -> Router.dispatch  the application
+              -> ErrorBoundaryMiddleware  exceptions -> 500 Response
+                -> Router.dispatch  the application
 
 Every stage has the same signature — ``handle(ctx, request,
 call_next)`` — and takes an injectable monotonic ``clock`` where it
@@ -45,6 +46,7 @@ __all__ = [
     "MetricsMiddleware",
     "TokenBucketMiddleware",
     "ResponseCacheMiddleware",
+    "ErrorBoundaryMiddleware",
     "build_pipeline",
     "json_response",
 ]
@@ -342,6 +344,43 @@ class TokenBucketMiddleware(Middleware):
         return response
 
 
+class ErrorBoundaryMiddleware(Middleware):
+    """Convert handler exceptions into a 500 ``Response``.
+
+    Sits innermost, directly around the router: an exception escaping
+    a handler used to unwind straight past every outer stage, so the
+    request produced no access-log line, no latency sample, and the
+    transport's bare 500 carried no ``X-Request-ID``. Catching it
+    *inside* the pipeline turns the failure into an ordinary response
+    that flows back out through logging, metrics and the request-id
+    hook like any other. The traceback goes to ``repro.service.error``;
+    the body deliberately carries only the exception type (plus the
+    request id for log correlation), not its message — internals stay
+    out of the wire format.
+    """
+
+    def __init__(self, logger: logging.Logger | None = None) -> None:
+        self._log = logger or logging.getLogger("repro.service.error")
+
+    def handle(self, ctx, request, call_next):
+        try:
+            return call_next(ctx, request)
+        except Exception as exc:
+            self._log.exception(
+                "unhandled error serving %s %s (request_id=%s)",
+                request.method,
+                request.path,
+                ctx.request_id,
+            )
+            return json_response(
+                {
+                    "error": f"internal error: {type(exc).__name__}",
+                    "request_id": ctx.request_id,
+                },
+                status=500,
+            )
+
+
 def study_request_key(request: Request) -> str | None:
     """Cache key for study submissions: the canonical config hash.
 
@@ -389,9 +428,34 @@ class ResponseCacheMiddleware(Middleware):
             return len(self._entries)
 
     def invalidate(self, key: str) -> None:
-        """Drop one entry (the app calls this when a study is deleted)."""
+        """Drop one entry (the app calls this when a study is deleted
+        or fails — a FAILED job's cached submission body would
+        otherwise swallow the fresh run ``submit()`` promises)."""
         with self._lock:
             self._entries.pop(key, None)
+
+    def seed(self, key: str, response: Response) -> None:
+        """Pre-populate an entry (cache warming after restart recovery).
+
+        Applies the same guards as the store path — cacheable 2xx,
+        no stream — so recovery cannot plant anything a live request
+        could not have.
+        """
+        if not (
+            response.cacheable
+            and response.stream is None
+            and 200 <= response.status < 300
+        ):
+            return
+        with self._lock:
+            self._entries[key] = (
+                response.status,
+                dict(response.headers),
+                response.body,
+            )
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
 
     def handle(self, ctx, request, call_next):
         key = self._key_fn(request)

@@ -1,0 +1,321 @@
+"""Durable job state: an append-only JSONL journal + compacted snapshot.
+
+The service's job table, dedup index and frame replay buffers live in
+process memory; the checkpoint files on disk already survive a crash,
+but without a record of *which* job owns *which* checkpoint (and which
+frames it had streamed) a restart forgets every submitted study. This
+module is that record — the persistence-across-reconfiguration
+property the middleware literature treats as first class (dynamic
+service reconfiguration, arXiv:cs/0411081; composable userspace
+stages, arXiv:1904.11277): a stage can be torn down and rebuilt
+without losing the state behind it.
+
+Layout of a ``state_dir``::
+
+    state_dir/
+      journal.jsonl     append-only event log (one JSON object/line)
+      snapshot.json     periodically-compacted full state (atomic
+                        tmp + os.replace, same discipline as
+                        benchmarks/conftest.py::update_bench_json)
+      checkpoints/      per-job Study checkpoints (written every round
+                        while the journal is live)
+
+Journal events (all carry ``"job"``):
+
+==============  ========================================================
+``submitted``   ``config`` (normalized dict), ``config_hash``,
+                ``request_id``
+``state``       ``state`` transition (``running`` carries the global
+                ``builds`` count after the build; ``queued`` marks a
+                resume re-enqueue and may carry ``request_id``)
+``frame``       one appended replay frame: ``index`` + ``frame`` (the
+                ``RoundRecord.to_json()`` line)
+``checkpoint``  a round-boundary checkpoint: ``path`` (file name under
+                ``checkpoints/``) + ``rounds`` covered by the file
+``done``        terminal success; ``result`` is the RunResult JSON
+``failed``      terminal failure; ``error`` message
+``cancelled``   terminal cancel; ``checkpoint`` file name or None
+``deleted``     the job was DELETEd — recovery drops it
+==============  ========================================================
+
+Replay is **idempotent**: compaction snapshots live state that may
+already include events other threads journal moments later, so frame
+events dedup by index and state transitions simply overwrite. A
+truncated final line (the crash landed mid-append) is dropped, not
+fatal; replay stops at the first undecodable line. Appends are flushed
+to the OS on every event, which makes the journal exact under
+``kill -9`` (only power loss can lose flushed-but-unsynced pages —
+this is a study service, not a bank ledger).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+__all__ = [
+    "JobJournal",
+    "RecoveredJob",
+    "RecoveredState",
+    "load_state",
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+]
+
+SNAPSHOT_FORMAT = "repro-job-snapshot"
+SNAPSHOT_VERSION = 1
+
+_log = logging.getLogger("repro.service.persistence")
+
+
+@dataclass
+class RecoveredJob:
+    """One job as reconstructed from snapshot + journal replay.
+
+    Plain data — the :class:`~repro.service.jobs.JobManager` turns it
+    back into a live ``StudyJob`` (and applies the crash-state mapping)
+    in its ``recover()`` path.
+    """
+
+    id: str
+    config: dict
+    config_hash: str
+    request_id: str = ""
+    state: str = "queued"
+    frames: list[str] = field(default_factory=list)
+    error: str | None = None
+    result: str | None = None
+    checkpoint: str | None = None  # file name under checkpoints/
+    checkpoint_rounds: int | None = None  # rounds covered by that file
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "config": self.config,
+            "config_hash": self.config_hash,
+            "request_id": self.request_id,
+            "state": self.state,
+            "frames": list(self.frames),
+            "error": self.error,
+            "result": self.result,
+            "checkpoint": self.checkpoint,
+            "checkpoint_rounds": self.checkpoint_rounds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RecoveredJob":
+        return cls(
+            id=payload["id"],
+            config=payload["config"],
+            config_hash=payload["config_hash"],
+            request_id=payload.get("request_id", ""),
+            state=payload.get("state", "queued"),
+            frames=list(payload.get("frames", [])),
+            error=payload.get("error"),
+            result=payload.get("result"),
+            checkpoint=payload.get("checkpoint"),
+            checkpoint_rounds=payload.get("checkpoint_rounds"),
+        )
+
+
+@dataclass
+class RecoveredState:
+    """Everything :func:`load_state` reconstructs from a state dir."""
+
+    jobs: dict[str, RecoveredJob] = field(default_factory=dict)
+    counter: int = 0  # highest job number seen (id allocation resumes after)
+    builds: int = 0  # simulator builds performed before the restart
+    dropped_lines: int = 0  # undecodable journal tail (crash mid-append)
+
+
+def _job_number(job_id: str) -> int:
+    """``job-000042`` -> 42; unparsable ids contribute nothing."""
+    try:
+        return int(job_id.rsplit("-", 1)[1])
+    except (IndexError, ValueError):
+        return 0
+
+
+def _apply_event(state: RecoveredState, event: dict) -> None:
+    """Fold one journal event into the recovered state (idempotent)."""
+    kind = event.get("event")
+    job_id = event.get("job")
+    if not isinstance(job_id, str):
+        return
+    if kind == "submitted":
+        state.counter = max(state.counter, _job_number(job_id))
+        if job_id not in state.jobs:  # replayed over a snapshot: keep
+            state.jobs[job_id] = RecoveredJob(
+                id=job_id,
+                config=event.get("config", {}),
+                config_hash=event.get("config_hash", ""),
+                request_id=event.get("request_id", ""),
+            )
+        return
+    job = state.jobs.get(job_id)
+    if job is None:  # deleted (or from before a corrupt stretch)
+        return
+    if kind == "state":
+        job.state = event.get("state", job.state)
+        state.builds = max(state.builds, int(event.get("builds", 0)))
+        if event.get("request_id"):
+            job.request_id = event["request_id"]
+        if job.state == "queued":
+            job.error = None
+    elif kind == "frame":
+        if event.get("index") == len(job.frames):  # dedup by index
+            job.frames.append(event.get("frame", ""))
+    elif kind == "checkpoint":
+        job.checkpoint = event.get("path")
+        job.checkpoint_rounds = event.get("rounds")
+    elif kind == "done":
+        job.state = "done"
+        job.result = event.get("result")
+        job.checkpoint = None  # a finished job's checkpoint is removed
+        job.checkpoint_rounds = None
+    elif kind == "failed":
+        job.state = "failed"
+        job.error = event.get("error")
+    elif kind == "cancelled":
+        job.state = "cancelled"
+        job.checkpoint = event.get("checkpoint")
+        if "rounds" in event:
+            job.checkpoint_rounds = event.get("rounds")
+    elif kind == "deleted":
+        state.jobs.pop(job_id, None)
+    # Unknown kinds are skipped: a newer writer's events must not make
+    # an older reader abort the whole recovery.
+
+
+def load_state(state_dir: str | Path) -> RecoveredState:
+    """Rebuild job state: snapshot first, then replay the journal.
+
+    Tolerates a missing or corrupt snapshot (treated as empty) and a
+    truncated journal tail (replay stops at the first undecodable
+    line, counted in ``dropped_lines``) — the two shapes a crash can
+    leave behind with atomic snapshot writes and line-append journals.
+    """
+    state_dir = Path(state_dir)
+    state = RecoveredState()
+    snapshot_path = state_dir / "snapshot.json"
+    if snapshot_path.exists():
+        try:
+            snapshot = json.loads(snapshot_path.read_text("utf-8"))
+        except ValueError:
+            snapshot = None
+            _log.warning("corrupt snapshot %s ignored", snapshot_path)
+        if isinstance(snapshot, dict) and snapshot.get("format") == SNAPSHOT_FORMAT:
+            state.counter = int(snapshot.get("counter", 0))
+            state.builds = int(snapshot.get("builds", 0))
+            for payload in snapshot.get("jobs", []):
+                try:
+                    job = RecoveredJob.from_dict(payload)
+                except (KeyError, TypeError):
+                    _log.warning("skipping malformed snapshot job entry")
+                    continue
+                state.jobs[job.id] = job
+                state.counter = max(state.counter, _job_number(job.id))
+    journal_path = state_dir / "journal.jsonl"
+    if journal_path.exists():
+        with journal_path.open("r", encoding="utf-8", errors="replace") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except ValueError:
+                    # A crash mid-append truncates exactly one tail
+                    # line; anything after it is unordered garbage.
+                    state.dropped_lines += 1
+                    _log.warning(
+                        "journal %s: replay stopped at undecodable line",
+                        journal_path,
+                    )
+                    break
+                if isinstance(event, dict):
+                    _apply_event(state, event)
+    return state
+
+
+class JobJournal:
+    """Append-only event writer with periodic snapshot compaction.
+
+    ``snapshot_provider`` returns the *live* full state as a snapshot
+    dict (the job manager serializes its table under its locks); it is
+    invoked outside any caller-held lock, so callers must never append
+    while holding the locks the provider needs. Every
+    ``compact_every`` appends — and on :meth:`compact` — the provider
+    state is written to ``snapshot.json`` atomically and the journal
+    truncated; a crash between the two leaves old events to be
+    replayed over the new snapshot, which idempotent replay absorbs.
+    """
+
+    def __init__(
+        self,
+        state_dir: str | Path,
+        snapshot_provider: Callable[[], dict] | None = None,
+        compact_every: int = 512,
+    ) -> None:
+        if compact_every <= 0:
+            raise ValueError("compact_every must be positive")
+        self.state_dir = Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.journal_path = self.state_dir / "journal.jsonl"
+        self.snapshot_path = self.state_dir / "snapshot.json"
+        self._provider = snapshot_provider
+        self._compact_every = compact_every
+        self._lock = threading.Lock()
+        self._handle = self.journal_path.open("a", encoding="utf-8")
+        self._since_compact = 0
+        self._closed = False
+
+    def append(self, event: dict) -> None:
+        """Write one event line and flush it to the OS."""
+        line = json.dumps(event, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            if self._closed:
+                return
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            self._since_compact += 1
+            if self._provider is not None and self._since_compact >= self._compact_every:
+                self._compact_locked()
+
+    def compact(self) -> None:
+        """Fold the journal into ``snapshot.json`` now (needs a provider)."""
+        with self._lock:
+            if not self._closed and self._provider is not None:
+                self._compact_locked()
+
+    def _compact_locked(self) -> None:
+        snapshot = dict(self._provider())
+        snapshot["format"] = SNAPSHOT_FORMAT
+        snapshot["version"] = SNAPSHOT_VERSION
+        tmp = self.snapshot_path.with_suffix(".json.tmp")
+        tmp.write_text(
+            json.dumps(snapshot, sort_keys=True, separators=(",", ":")) + "\n",
+            encoding="utf-8",
+        )
+        os.replace(tmp, self.snapshot_path)
+        # Truncate only after the snapshot is durably in place: a crash
+        # here replays the old events over the new snapshot (a no-op).
+        self._handle.close()
+        self._handle = self.journal_path.open("w", encoding="utf-8")
+        self._since_compact = 0
+
+    def load(self) -> RecoveredState:
+        """Read back the state this journal's directory holds."""
+        return load_state(self.state_dir)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._handle.close()

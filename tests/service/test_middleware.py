@@ -12,6 +12,7 @@ from repro.core.config import config_hash
 from repro.core.study import StudyConfig
 from repro.service.middleware import (
     AccessLogMiddleware,
+    ErrorBoundaryMiddleware,
     MetricsMiddleware,
     Request,
     RequestContext,
@@ -368,3 +369,114 @@ class TestComposedPipeline:
         assert service.handle(Req("GET", "/studies")).status == 429
         counters = service.metrics.counters()
         assert counters["requests"][("GET", "/studies", 429)] == 1
+
+
+# -- error boundary ------------------------------------------------------
+
+
+class TestErrorBoundaryMiddleware:
+    def test_converts_exception_to_500_with_request_id(self, caplog):
+        def handler(ctx, request):
+            raise RuntimeError("secret detail")
+
+        ctx = RequestContext(request_id="req-000042")
+        with caplog.at_level(logging.ERROR, logger="repro.service.error"):
+            response = run(
+                ErrorBoundaryMiddleware(), req(path="/studies"), handler, ctx
+            )
+        assert response.status == 500
+        body = json.loads(response.body)
+        assert body["error"] == "internal error: RuntimeError"
+        assert body["request_id"] == "req-000042"
+        # The message stays in the server log, not on the wire.
+        assert "secret detail" not in response.body.decode()
+        assert any("req-000042" in r.getMessage() for r in caplog.records)
+
+    def test_passthrough_when_handler_succeeds(self):
+        response = run(ErrorBoundaryMiddleware(), req())
+        assert response.status == 200
+        assert json.loads(response.body) == {"ok": True}
+
+    def test_failures_reach_access_log_and_metrics(self, caplog):
+        """Order contract under the fake clock: an exception inside
+        the boundary flows back out as an ordinary response, so the
+        access log gets its line (status 500, measured duration) and
+        metrics observe it on the normal path — neither saw failed
+        requests before the boundary existed."""
+        clock = FakeClock()
+        metrics = MetricsMiddleware(clock=clock)
+
+        def handler(ctx, request):
+            clock.advance(0.25)
+            raise ValueError("boom")
+
+        pipeline = build_pipeline(
+            [
+                RequestContextMiddleware(),
+                AccessLogMiddleware(clock=clock),
+                metrics,
+                ErrorBoundaryMiddleware(),
+            ],
+            handler,
+        )
+        with caplog.at_level(logging.INFO, logger="repro.service.access"):
+            response = pipeline(RequestContext(), req(path="/studies"))
+        assert response.status == 500
+        assert response.headers["X-Request-ID"].startswith("req-")
+        lines = [
+            json.loads(r.getMessage())
+            for r in caplog.records
+            if r.name == "repro.service.access"
+        ]
+        assert len(lines) == 1
+        assert lines[0]["status"] == 500
+        assert lines[0]["duration_ms"] == 250.0
+        counters = metrics.counters()
+        assert counters["requests"][("GET", "/studies", 500)] == 1
+        assert counters["errors"][("GET", "/studies")] == 1
+
+    def test_service_pipeline_stamps_500s(self, make_service):
+        """End to end through StudyService: a crashing route handler
+        still produces an id-stamped JSON 500, not a bare transport
+        error."""
+        service = make_service()
+
+        def explode(ctx, request, params):
+            raise RuntimeError("handler bug")
+
+        service.router.add("GET", "/boom", explode)
+        response = service.handle(Request(method="GET", path="/boom"))
+        assert response.status == 500
+        assert response.headers["X-Request-ID"].startswith("req-")
+        body = json.loads(response.body)
+        assert body["error"] == "internal error: RuntimeError"
+        assert body["request_id"] == response.headers["X-Request-ID"]
+
+
+class TestResponseCacheSeed:
+    def test_seeded_entry_serves_hits(self):
+        mw = ResponseCacheMiddleware(max_entries=4)
+        key = config_hash(tiny_study_payload())
+        mw.seed(key, json_response({"id": "job-000001"}, cacheable=True))
+        response = run(
+            mw,
+            study_request(tiny_study_payload()),
+            lambda ctx, r: pytest.fail("seeded key must not reach handler"),
+        )
+        assert response.headers["X-Cache"] == "hit"
+        assert json.loads(response.body) == {"id": "job-000001"}
+
+    def test_seed_applies_store_guards(self):
+        mw = ResponseCacheMiddleware(max_entries=4)
+        mw.seed("a", json_response({}, status=500, cacheable=True))
+        mw.seed("b", json_response({}))  # not marked cacheable
+        streaming = json_response({}, cacheable=True)
+        streaming.stream = iter(())
+        mw.seed("c", streaming)
+        assert len(mw) == 0
+
+    def test_seed_respects_lru_capacity(self):
+        mw = ResponseCacheMiddleware(max_entries=2)
+        for key in ("a", "b", "c"):
+            mw.seed(key, json_response({"k": key}, cacheable=True))
+        assert len(mw) == 2

@@ -196,7 +196,7 @@ class TestServe:
             "serve", "--host", "0.0.0.0", "--port", "0",
             "--job-workers", "3", "--rate-capacity", "7",
             "--rate-refill", "1.5", "--cache-entries", "9",
-            "--checkpoint-dir", "/tmp/ck",
+            "--checkpoint-dir", "/tmp/ck", "--state-dir", "/tmp/state",
         ])
         assert code == 0
         assert captured == {
@@ -207,6 +207,7 @@ class TestServe:
             "rate_refill": 1.5,
             "cache_entries": 9,
             "checkpoint_dir": "/tmp/ck",
+            "state_dir": "/tmp/state",
         }
 
     def test_serve_defaults(self, monkeypatch):
@@ -223,6 +224,7 @@ class TestServe:
         assert captured["host"] == "127.0.0.1"
         assert captured["port"] == 8000
         assert captured["checkpoint_dir"] is None
+        assert captured["state_dir"] is None
 
 
 class TestCampaign:

@@ -7,6 +7,13 @@ verifies the response is a byte-identical cache hit that triggered no
 additional simulator build, then shuts everything down and checks that
 no worker processes were leaked.
 
+A second leg exercises the durability contract with a *real* process
+death: `repro serve --state-dir` runs as a subprocess, a study is
+killed (SIGKILL) mid-run once at least two rounds are on disk, a fresh
+subprocess restarts on the same state dir, and the job must come back
+cancelled+resumable, replay its pre-crash frames over SSE, and resume
+to a result bit-identical to an uninterrupted in-process run.
+
 Exit status 0 on success; any assertion failure is fatal.  Used by
 `make serve-smoke` and CI.
 """
@@ -16,12 +23,18 @@ from __future__ import annotations
 import http.client
 import json
 import multiprocessing
+import os
+import subprocess
 import sys
+import tempfile
 import threading
+import time
 from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.core.study import StudyConfig, run_study  # noqa: E402
 from repro.service import StudyService, make_server  # noqa: E402
 from repro.service.sse import parse_sse_stream  # noqa: E402
 
@@ -54,6 +67,116 @@ def request(port: int, method: str, path: str, body: bytes | None = None):
         return resp.status, dict(resp.getheaders()), resp.read()
     finally:
         conn.close()
+
+
+def spawn_server(state_dir: Path) -> tuple[subprocess.Popen, int]:
+    """Start ``repro serve --state-dir`` as a subprocess; return its
+    handle and bound (ephemeral) port, parsed from the startup line."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro.cli", "serve",
+         "--port", "0", "--job-workers", "1",
+         "--state-dir", str(state_dir)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        env=env,
+        text=True,
+    )
+    deadline = time.monotonic() + 60
+    assert process.stdout is not None
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            break
+        if "listening on" in line:
+            port = int(line.rsplit(":", 1)[1])
+            return process, port
+    process.kill()
+    raise AssertionError("server subprocess never announced its port")
+
+
+def wait_for_state(port: int, job_id: str, predicate, timeout: float = 120.0):
+    """Poll the job snapshot until ``predicate(snapshot)`` holds."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, _, body = request(port, "GET", f"/studies/{job_id}")
+        assert status == 200, f"status poll -> {status}"
+        snapshot = json.loads(body)
+        if predicate(snapshot):
+            return snapshot
+        time.sleep(0.1)
+    raise AssertionError(f"timed out waiting on job {job_id}")
+
+
+def kill_restart_leg() -> None:
+    """Kill -9 a durable server mid-study, restart, replay, resume."""
+    # Rounds run in ~10 ms each; a 120-round horizon keeps the study
+    # alive for ~1 s after the poll sees rounds_completed >= 2, so the
+    # SIGKILL always lands mid-run.
+    payload_dict = dict(SMOKE_PAYLOAD, rounds=120, name="serve-smoke-crash")
+    payload = json.dumps(payload_dict).encode("utf-8")
+    expected = run_study(StudyConfig.from_dict(payload_dict))
+    expected_frames = [r.to_json() for r in expected.rounds]
+
+    with tempfile.TemporaryDirectory(prefix="serve-smoke-state-") as tmp:
+        state_dir = Path(tmp) / "state"
+        process, port = spawn_server(state_dir)
+        try:
+            status, _, body = request(port, "POST", "/studies", payload)
+            assert status == 200, f"submit -> {status}: {body!r}"
+            job_id = json.loads(body)["id"]
+            # Wait until at least two rounds (and their checkpoints)
+            # are journaled, then die the way crashes do.
+            wait_for_state(
+                port, job_id, lambda s: s["rounds_completed"] >= 2
+            )
+        finally:
+            process.kill()
+            process.wait(timeout=30)
+        print("serve-smoke: SIGKILLed the server mid-study")
+
+        process, port = spawn_server(state_dir)
+        try:
+            snapshot = wait_for_state(port, job_id, lambda s: True)
+            assert snapshot["state"] == "cancelled", snapshot
+            assert snapshot["resumable"], snapshot
+            replayed = snapshot["rounds_completed"]
+            assert replayed >= 2, snapshot
+
+            # A post-restart subscriber replays every pre-crash frame.
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+            conn.request("GET", f"/studies/{job_id}/stream")
+            resp = conn.getresponse()
+            frames = [
+                e.data
+                for e in parse_sse_stream(iter(resp.readline, b""))
+                if e.event == "round"
+            ]
+            conn.close()
+            assert frames == expected_frames[:replayed], (
+                "pre-crash replay diverged from the uninterrupted run"
+            )
+            print(f"serve-smoke: restart replayed {replayed} frames")
+
+            status, _, body = request(
+                port, "POST", f"/studies/{job_id}/resume"
+            )
+            assert status == 202, f"resume -> {status}: {body!r}"
+            wait_for_state(port, job_id, lambda s: s["state"] == "done")
+            status, _, result = request(
+                port, "GET", f"/studies/{job_id}/result"
+            )
+            assert status == 200, f"result -> {status}"
+            assert result.decode("utf-8") == expected.to_json(), (
+                "resumed result not bit-identical to uninterrupted run"
+            )
+            print("serve-smoke: resume after crash is bit-identical")
+        finally:
+            process.kill()
+            process.wait(timeout=30)
 
 
 def main() -> int:
@@ -107,6 +230,9 @@ def main() -> int:
         service.close()
     assert multiprocessing.active_children() == [], "leaked worker processes"
     print("serve-smoke: clean shutdown, no leaked workers")
+
+    kill_restart_leg()
+    print("serve-smoke: kill -> restart -> resume leg passed")
     return 0
 
 
