@@ -14,7 +14,7 @@ test:
 ## packages (needs `python -m pip install coverage`).
 coverage:
 	$(PYTHON) -m coverage run \
-		--source=src/repro/nn,src/repro/gossip,src/repro/privacy,src/repro/metrics \
+		--source=src/repro/nn,src/repro/gossip,src/repro/privacy,src/repro/metrics,src/repro/telemetry \
 		-m pytest -x -q tests
 	$(PYTHON) -m coverage report -m --fail-under=85
 

@@ -1,13 +1,16 @@
 """Command-line interface.
 
-Five subcommands::
+Six subcommands::
 
     python -m repro.cli study --dataset purchase100 --protocol samo \
         --nodes 8 --rounds 5 --dynamic --out run.json
     python -m repro.cli study --resume run.ckpt --out run.json
+    python -m repro.cli study --telemetry --trace-out spans.jsonl
     python -m repro.cli campaign --dataset purchase100 --scale tiny \
         --grid seed=0,1,2 --grid protocol=samo,base_gossip \
         --out-dir runs/ --jobs 0
+    python -m repro.cli report runs/*.json --telemetry
+    python -m repro.cli report --trace spans.jsonl
     python -m repro.cli serve --port 8000
     python -m repro.cli figure --id 3 --scale tiny
     python -m repro.cli tables
@@ -15,11 +18,14 @@ Five subcommands::
 ``study`` runs one experiment as a streaming session (rows print as
 rounds complete) and optionally writes JSON/CSV; ``--checkpoint``
 snapshots the session every round and ``--resume`` continues a
-checkpointed run bit-identically. ``campaign`` sweeps a grid of
-configs over a process pool with per-study result files (re-running
-with the same ``--out-dir`` resumes). ``serve`` runs the long-lived
-HTTP/SSE service (``docs/service.md``). ``figure`` regenerates one
-paper figure's data series; ``tables`` prints Tables 1 and 2.
+checkpointed run bit-identically; ``--telemetry``/``--trace-out``
+record spans and engine metrics (``docs/observability.md``).
+``campaign`` sweeps a grid of configs over a process pool with
+per-study result files (re-running with the same ``--out-dir``
+resumes). ``report`` inspects saved results and span dumps offline.
+``serve`` runs the long-lived HTTP/SSE service (``docs/service.md``).
+``figure`` regenerates one paper figure's data series; ``tables``
+prints Tables 1 and 2.
 """
 
 from __future__ import annotations
@@ -89,6 +95,14 @@ def _add_study_parser(sub: argparse._SubParsersAction) -> None:
                         "config wins; other config flags are ignored)")
     p.add_argument("--out", default=None, help="write RunResult JSON here")
     p.add_argument("--csv", default=None, help="write per-round CSV here")
+    p.add_argument("--telemetry", action="store_true",
+                   help="record tracing spans + engine metrics during the "
+                        "run; prints a phase summary and annotates --out "
+                        "JSON with metadata['telemetry']")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="write the finished spans as JSONL here "
+                        "(implies --telemetry; inspect with "
+                        "'repro report --trace PATH')")
 
 
 def _print_round(r) -> None:
@@ -102,9 +116,14 @@ def _print_round(r) -> None:
 def _run_study(args: argparse.Namespace) -> int:
     from repro.core.study import Study
     from repro.experiments import result_to_csv, save_result, scaled_config
+    from repro.telemetry import Telemetry
 
+    telemetry = None
+    if args.telemetry or args.trace_out:
+        telemetry = Telemetry(enabled=True)
+        telemetry.tracer.set_trace_id(f"cli-study-seed{args.seed}")
     if args.resume:
-        study = Study.resume(args.resume)
+        study = Study.resume(args.resume, telemetry=telemetry)
     else:
         overrides: dict = {
             "protocol": args.protocol,
@@ -134,7 +153,10 @@ def _run_study(args: argparse.Namespace) -> int:
             overrides["view_size"] = args.view_size
         if args.rounds is not None:
             overrides["rounds"] = args.rounds
-        study = Study(scaled_config(args.dataset, args.scale, **overrides))
+        study = Study(
+            scaled_config(args.dataset, args.scale, **overrides),
+            telemetry=telemetry,
+        )
 
     print(f"{'round':>5} {'test_acc':>9} {'mia_acc':>8} {'tpr@1%':>7} "
           f"{'gen_err':>8}")
@@ -146,11 +168,28 @@ def _run_study(args: argparse.Namespace) -> int:
             if args.checkpoint:
                 study.checkpoint(args.checkpoint)
         result = study.result()
+    if telemetry is not None:
+        _print_phase_summary(telemetry)
+        if args.trace_out:
+            count = telemetry.tracer.dump_jsonl(args.trace_out)
+            print(f"wrote {args.trace_out} ({count} spans)")
     if args.out:
         print(f"wrote {save_result(result, args.out)}")
     if args.csv:
         print(f"wrote {result_to_csv(result, args.csv)}")
     return 0
+
+
+def _print_phase_summary(telemetry) -> None:
+    """Per-phase totals from the run's engine-phase histogram."""
+    family = telemetry.registry.snapshot().get("repro_engine_phase_ms")
+    if family is None:
+        return
+    print("phase totals:")
+    for series in family["series"]:
+        phase = series["labels"].get("phase", "?")
+        print(f"  {phase:<10} {series['sum']:>10.1f} ms "
+              f"over {series['count']} rounds")
 
 
 def _parse_axis_value(text: str):
@@ -238,6 +277,107 @@ def _run_campaign(args: argparse.Namespace) -> int:
     if args.summary:
         print(f"wrote {results_to_summary_csv(results, args.summary)}")
     return 0
+
+
+def _add_report_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "report",
+        help="inspect saved RunResult JSON files and telemetry dumps",
+    )
+    p.add_argument("results", nargs="*", metavar="RESULT.json",
+                   help="RunResult files written by 'repro study --out' "
+                        "or a campaign --out-dir")
+    p.add_argument("--telemetry", action="store_true",
+                   help="also print each result's telemetry metadata "
+                        "(per-round wall-clock, fallback counters)")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="pretty-print a span tree from a --trace-out "
+                        "JSONL dump")
+
+
+def _run_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments import load_result
+
+    if not args.results and not args.trace:
+        print("report needs result files and/or --trace FILE",
+              file=sys.stderr)
+        return 2
+    for path in args.results:
+        result = load_result(path)
+        print(
+            f"{result.config_name}: {len(result.rounds)} rounds, "
+            f"max_test={result.max_test_accuracy:.3f}, "
+            f"max_mia={result.max_mia_accuracy:.3f}"
+        )
+        if args.telemetry:
+            meta = result.metadata or {}
+            fallbacks = meta.get("fallback_counts") or {}
+            if fallbacks:
+                counts = ", ".join(
+                    f"{k}={v}" for k, v in sorted(fallbacks.items())
+                )
+                print(f"  fallbacks: {counts}")
+            tel = meta.get("telemetry")
+            if tel is None:
+                print("  (no telemetry metadata; run with --telemetry)")
+                continue
+            round_ms = tel.get("round_ms", [])
+            if round_ms:
+                print(
+                    f"  rounds: {len(round_ms)}, "
+                    f"total {sum(round_ms):.1f} ms, "
+                    f"mean {sum(round_ms) / len(round_ms):.1f} ms, "
+                    f"max {max(round_ms):.1f} ms"
+                )
+            print(
+                f"  spans: {tel.get('spans_recorded', 0)} recorded, "
+                f"{tel.get('spans_dropped', 0)} dropped"
+            )
+    if args.trace:
+        spans = []
+        with open(args.trace, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    spans.append(json.loads(line))
+        _print_span_tree(spans)
+    return 0
+
+
+def _print_span_tree(spans: list[dict]) -> None:
+    """Indented tree of a JSONL span dump, children under parents."""
+    children: dict[str, list[dict]] = {}
+    known = {span["span_id"] for span in spans}
+    roots = []
+    for span in spans:
+        parent = span.get("parent_id") or ""
+        if parent in known:
+            children.setdefault(parent, []).append(span)
+        else:
+            # Orphans (parent fell out of the bounded buffer) print as
+            # roots rather than vanishing.
+            roots.append(span)
+
+    def emit(span: dict, depth: int) -> None:
+        attrs = span.get("attributes") or {}
+        extra = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+        line = (
+            f"{'  ' * depth}{span['name']} "
+            f"{span.get('duration_ms', 0.0):.3f}ms"
+        )
+        if extra:
+            line += f" [{extra}]"
+        print(line)
+        for child in sorted(
+            children.get(span["span_id"], []),
+            key=lambda s: s.get("start_ms", 0.0),
+        ):
+            emit(child, depth + 1)
+
+    for root in sorted(roots, key=lambda s: s.get("start_ms", 0.0)):
+        emit(root, 0)
 
 
 def _add_serve_parser(sub: argparse._SubParsersAction) -> None:
@@ -371,6 +511,7 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
     _add_study_parser(sub)
     _add_campaign_parser(sub)
+    _add_report_parser(sub)
     _add_serve_parser(sub)
     fig = sub.add_parser("figure", help="regenerate one paper figure's data")
     fig.add_argument("--id", type=int, required=True, choices=range(2, 11))
@@ -384,6 +525,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_study(args)
     if args.command == "campaign":
         return _run_campaign(args)
+    if args.command == "report":
+        return _run_report(args)
     if args.command == "serve":
         return _run_serve(args)
     if args.command == "figure":

@@ -28,6 +28,7 @@ float-associativity tolerance.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
@@ -51,6 +52,7 @@ from repro.privacy.mia import (
     mpe_scores,
     tpr_at_fpr,
 )
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = ["OmniscientObserver"]
 
@@ -96,6 +98,7 @@ class OmniscientObserver:
         seed: int = 0,
         keep_node_records: bool = False,
         eval_batch: int = 0,
+        telemetry: Telemetry | None = None,
     ):
         if canaries is not None and canary_base is None:
             raise ValueError("canary evaluation needs the base training split")
@@ -123,6 +126,14 @@ class OmniscientObserver:
         self._batched = eval_batch >= 0 and supports_batched_forward(model)
         self._layout: StateLayout | None = None
         self._evaluator: BatchedEvaluator | None = None
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._tel = self.telemetry if self.telemetry.enabled else None
+        if self._tel is not None:
+            self._observe_ms = self.telemetry.registry.histogram(
+                "repro_engine_phase_ms",
+                "Per-round wall-clock of each round-loop phase",
+                labels=("phase",),
+            ).child(phase="observe")
 
     def set_epsilon_fn(self, fn) -> None:
         """Register a callable round_index -> epsilon for DP runs."""
@@ -147,6 +158,16 @@ class OmniscientObserver:
     # -- per-round hook (signature matches GossipSimulator.run) --------
 
     def __call__(self, round_index: int, simulator: GossipSimulator) -> None:
+        tel = self._tel
+        if tel is None:
+            self._observe(round_index, simulator)
+            return
+        with tel.tracer.span("observer.observe", round=round_index):
+            start = perf_counter()
+            self._observe(round_index, simulator)
+            self._observe_ms.observe((perf_counter() - start) * 1000.0)
+
+    def _observe(self, round_index: int, simulator: GossipSimulator) -> None:
         # One state-matrix read serves evaluation, canary attack and
         # spread (under the dict engine each read re-packs every node).
         params = simulator.state_matrix(self._get_layout())

@@ -35,6 +35,7 @@ import threading
 from dataclasses import dataclass, replace
 from functools import partial
 from pathlib import Path
+from time import perf_counter
 from typing import Iterator
 
 import numpy as np
@@ -65,6 +66,7 @@ from repro.nn.models import build_model
 from repro.nn.serialize import get_state
 from repro.privacy.accountant import RDPAccountant, calibrate_sigma
 from repro.privacy.dp import DPSGDConfig
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = ["StudyConfig", "Study", "VulnerabilityStudy", "run_study"]
 
@@ -329,8 +331,20 @@ class Study:
     uninterrupted ``RunResult`` bit for bit on float64 arenas.
     """
 
-    def __init__(self, config: StudyConfig):
+    def __init__(
+        self, config: StudyConfig, telemetry: Telemetry | None = None
+    ):
         self.config = config
+        # Telemetry travels by reference, never through the config: it
+        # must not change config_hash, cache identity, or any RNG draw.
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._tel = self.telemetry if self.telemetry.enabled else None
+        self._round_ms: list[float] = []
+        if self._tel is not None:
+            self._round_hist = self.telemetry.registry.histogram(
+                "repro_study_round_ms",
+                "Wall-clock of one full study round (simulate + observe)",
+            ).child()
         self._built = False
         self._finalized = False
         self._rounds_done = 0
@@ -472,6 +486,7 @@ class Study:
             self.splits,
             self.initial_state,
             model_builder=self.model_builder,
+            telemetry=self.telemetry,
         )
         # From here on a live simulator exists (worker processes,
         # shared-memory segments); a failing construction step must not
@@ -494,6 +509,7 @@ class Study:
                 seed=cfg.seed + 4,
                 keep_node_records=cfg.keep_node_records,
                 eval_batch=cfg.eval_batch,
+                telemetry=self.telemetry,
             )
             if cfg.dp_epsilon is not None:
                 self.observer.set_epsilon_fn(self._epsilon_at_round)
@@ -573,21 +589,44 @@ class Study:
             if rounds < 0:
                 raise ValueError("rounds must be non-negative")
             target = min(target, self._rounds_done + rounds)
-        while self._rounds_done < target:
-            if self._cancel.is_set():
-                # Cancelled between rounds: stop without the end-of-run
-                # finalization — the horizon was not reached, and a
-                # resume must replay the remaining rounds bit-identically.
-                return
-            self.simulator.run_round()
-            round_index = self._rounds_done
-            self.observer(round_index, self.simulator)
-            self._rounds_done += 1
-            # Finalize BEFORE the last yield: a caller that breaks on
-            # the final record (a predicate satisfied at the horizon)
-            # must still get the end-of-run flush and tally.
-            self._maybe_finish()
-            yield self.observer.records[-1]
+        tel = self._tel
+        try:
+            while self._rounds_done < target:
+                if self._cancel.is_set():
+                    # Cancelled between rounds: stop without the
+                    # end-of-run finalization — the horizon was not
+                    # reached, and a resume must replay the remaining
+                    # rounds bit-identically.
+                    if tel is not None:
+                        tel.tracer.event(
+                            "study.cancelled", round=self._rounds_done
+                        )
+                    return
+                round_index = self._rounds_done
+                if tel is None:
+                    self.simulator.run_round()
+                    self.observer(round_index, self.simulator)
+                else:
+                    with tel.tracer.span("study.round", round=round_index):
+                        start = perf_counter()
+                        self.simulator.run_round()
+                        self.observer(round_index, self.simulator)
+                        elapsed = (perf_counter() - start) * 1000.0
+                    self._round_ms.append(elapsed)
+                    self._round_hist.observe(elapsed)
+                self._rounds_done += 1
+                # Finalize BEFORE the last yield: a caller that breaks
+                # on the final record (a predicate satisfied at the
+                # horizon) must still get the end-of-run flush and tally.
+                self._maybe_finish()
+                yield self.observer.records[-1]
+        except GeneratorExit:
+            # The caller abandoned the generator mid-run — the
+            # early-stopping pattern. Mark it so traces show where and
+            # why a run ended short of the horizon.
+            if tel is not None and self._rounds_done < self.config.rounds:
+                tel.tracer.event("study.early_stop", round=self._rounds_done)
+            raise
         self._maybe_finish()
 
     def _maybe_finish(self) -> None:
@@ -611,9 +650,17 @@ class Study:
         return self.observer.records
 
     def result(self) -> RunResult:
-        """The run so far as a :class:`RunResult` (partial runs included)."""
+        """The run so far as a :class:`RunResult` (partial runs included).
+
+        When the study runs with live telemetry *and*
+        ``annotate_results`` is on, ``metadata["telemetry"]`` carries
+        the per-round wall-clock series and a metrics snapshot for
+        offline inspection (``repro report --telemetry``). The service
+        keeps annotation off: result bytes must stay identical to a
+        plain ``run_study`` of the same config.
+        """
         self.build()
-        return RunResult(
+        result = RunResult(
             config_name=self.config.name,
             rounds=list(self.observer.records),
             metadata={
@@ -641,6 +688,15 @@ class Study:
                 "fallback_counts": self.simulator.fallback_counts(),
             },
         )
+        if self.telemetry.annotate_results:
+            tracer = self.telemetry.tracer
+            result.metadata["telemetry"] = {
+                "round_ms": [round(ms, 3) for ms in self._round_ms],
+                "spans_recorded": len(tracer.spans()),
+                "spans_dropped": tracer.dropped,
+                "metrics": self.telemetry.registry.snapshot(),
+            }
+        return result
 
     # -- checkpoint / resume ----------------------------------------------
 
@@ -675,7 +731,9 @@ class Study:
         return path
 
     @classmethod
-    def resume(cls, path: str | Path) -> "Study":
+    def resume(
+        cls, path: str | Path, telemetry: Telemetry | None = None
+    ) -> "Study":
         """Rebuild a session from a :meth:`checkpoint` file.
 
         The pipeline is reconstructed deterministically from the stored
@@ -696,7 +754,9 @@ class Study:
                 f"unsupported checkpoint version {payload.get('version')!r} "
                 f"(this build reads version {CHECKPOINT_VERSION})"
             )
-        study = cls(StudyConfig.from_dict(payload["config"]))
+        study = cls(
+            StudyConfig.from_dict(payload["config"]), telemetry=telemetry
+        )
         study.build()
         try:
             study.simulator.restore_state(payload["simulator"])
@@ -720,6 +780,8 @@ class VulnerabilityStudy(Study):
         self.build()
 
 
-def run_study(config: StudyConfig) -> RunResult:
+def run_study(
+    config: StudyConfig, telemetry: Telemetry | None = None
+) -> RunResult:
     """Convenience wrapper: build, run and clean up in one call."""
-    return Study(config).run()
+    return Study(config, telemetry=telemetry).run()

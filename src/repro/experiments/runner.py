@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from itertools import product
 from pathlib import Path
 from typing import Iterable, Mapping, Sequence
@@ -30,6 +31,7 @@ from typing import Iterable, Mapping, Sequence
 from repro.core.study import StudyConfig, run_study
 from repro.experiments.io import load_result, save_result
 from repro.metrics.records import RunResult
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = ["Campaign", "run_experiment", "run_many"]
 
@@ -48,6 +50,17 @@ def _study_process_demand(config: StudyConfig) -> int:
         shards = config.n_shards or min(cpus, _MAX_AUTO_PROCS)
         return min(shards, config.n_nodes)
     return 1
+
+
+def _run_study_timed(
+    config: StudyConfig, submitted_ts: float
+) -> tuple[RunResult, float, float]:
+    """Pool-side wrapper: run one study and report (result, queue-wait
+    seconds, wall seconds). Uses ``time.time()`` so the wait is
+    comparable across the parent/worker process boundary."""
+    started = time.time()
+    result = run_study(config)
+    return result, started - submitted_ts, time.time() - started
 
 
 def _axis_values(name: str, values) -> list:
@@ -80,7 +93,15 @@ class Campaign:
         self,
         configs: Sequence[StudyConfig],
         out_dir: str | Path | None = None,
+        telemetry: Telemetry | None = None,
     ):
+        # Campaign-level telemetry records queue-wait and wall-clock
+        # per study in the *parent* process; it is not forwarded into
+        # the studies themselves, so result files are byte-identical
+        # whether the campaign runs instrumented or not (and the
+        # serial and pooled paths stay symmetric).
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._tel = self.telemetry if self.telemetry.enabled else None
         self.configs = list(configs)
         if not self.configs:
             raise ValueError("a campaign needs at least one config")
@@ -252,18 +273,49 @@ class Campaign:
             jobs = self.default_jobs(pending)
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        tel = self._tel
+        if tel is not None:
+            queue_hist = tel.registry.histogram(
+                "repro_campaign_queue_wait_ms",
+                "Time a study spent queued before it started running",
+                labels=("study",),
+            )
+            wall_hist = tel.registry.histogram(
+                "repro_campaign_study_wall_ms",
+                "Wall-clock of one campaign study, end to end",
+                labels=("study",),
+            )
+            submitted_ts = time.time()
         if jobs == 1 or len(pending) <= 1:
             for config in pending:
-                result = run_study(config)
+                if tel is None:
+                    result = run_study(config)
+                else:
+                    started = time.time()
+                    queue_hist.observe(
+                        (started - submitted_ts) * 1000.0, study=config.name
+                    )
+                    with tel.tracer.span("campaign.study", study=config.name):
+                        result = run_study(config)
+                    wall_hist.observe(
+                        (time.time() - started) * 1000.0, study=config.name
+                    )
                 self._save(result)
                 results[config.name] = result
         else:
             from concurrent.futures import ProcessPoolExecutor, as_completed
 
             with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-                futures = {
-                    pool.submit(run_study, config): config for config in pending
-                }
+                if tel is None:
+                    futures = {
+                        pool.submit(run_study, config): config
+                        for config in pending
+                    }
+                else:
+                    futures = {
+                        pool.submit(_run_study_timed, config, submitted_ts): config
+                        for config in pending
+                    }
                 # Persist in completion order, not submission order, and
                 # drain every future before propagating a failure: one
                 # crashed study must not discard siblings that finished
@@ -271,13 +323,21 @@ class Campaign:
                 first_error: BaseException | None = None
                 for future in as_completed(futures):
                     try:
-                        result = future.result()
+                        out = future.result()
                     except BaseException as exc:
                         if first_error is None:
                             first_error = exc
                         continue
+                    name = futures[future].name
+                    if tel is None:
+                        result = out
+                    else:
+                        result, wait_s, wall_s = out
+                        queue_hist.observe(wait_s * 1000.0, study=name)
+                        wall_hist.observe(wall_s * 1000.0, study=name)
+                        tel.tracer.event("campaign.study_done", study=name)
                     self._save(result)
-                    results[futures[future].name] = result
+                    results[name] = result
                 if first_error is not None:
                     raise first_error
         return {config.name: results[config.name] for config in self.configs}

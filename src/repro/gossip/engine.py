@@ -28,6 +28,7 @@ import heapq
 import os
 from collections import Counter
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
@@ -46,6 +47,7 @@ from repro.nn.batched import supports_batched_backward
 from repro.nn.flat import SharedArena, StateLayout
 from repro.nn.layers import Module
 from repro.nn.serialize import State, normalize_weights
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = [
     "StateArena",
@@ -562,6 +564,7 @@ class FlatGossipSimulator(GossipSimulator):
         initial_state: State,
         keep_payloads: bool = False,
         model_builder: Callable[[], Module] | None = None,
+        telemetry: Telemetry | None = None,
     ):
         super().__init__(config, protocol, splits, initial_state, keep_payloads)
         if isinstance(protocol, SAMOProtocol):
@@ -600,6 +603,37 @@ class FlatGossipSimulator(GossipSimulator):
         # Built lazily so late config changes (DP installation swaps
         # the trainer config and update cap) reach pool workers.
         self._executor: Executor | None = None
+        # Telemetry: phase timings accumulate in flat floats per tick
+        # and flush to histograms once per round (run_round override),
+        # so the enabled hot path adds a few perf_counter calls and the
+        # disabled one a single `is None` branch per phase. Timing uses
+        # the wall clock only — no RNG is ever touched, which keeps
+        # fixed-seed results bit-identical with telemetry on.
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._tel = self.telemetry if self.telemetry.enabled else None
+        if self._tel is not None:
+            reg = self.telemetry.registry
+            phase_hist = reg.histogram(
+                "repro_engine_phase_ms",
+                "Per-round wall-clock of each round-loop phase",
+                labels=("phase",),
+            )
+            self._phase_acc = {
+                "deliver": 0.0, "wake": 0.0, "train": 0.0, "aggregate": 0.0
+            }
+            self._phase_series = {
+                phase: phase_hist.child(phase=phase) for phase in self._phase_acc
+            }
+            self._fallback_total = reg.counter(
+                "repro_engine_fallback_total",
+                "Rows that left the blocked fast path, by reason",
+                labels=("reason",),
+            )
+            self._fallback_seen: Counter[str] = Counter()
+            # Bound lazily on first train_batch: the executor (and its
+            # name label) does not exist yet.
+            self._batch_ms = None
+            self._tasks_total = None
 
     def _node_initial_state(self, initial_state: State) -> State:
         """No per-node dict copy: node states are rebound to arena views
@@ -642,6 +676,7 @@ class FlatGossipSimulator(GossipSimulator):
                     train_batch=self.config.train_batch,
                     partition=self.config.shard_partition,
                     trainer=trainer,
+                    telemetry=self.telemetry,
                 )
             else:
                 self._executor = SerialExecutor(trainer, self.layout, splits)
@@ -793,10 +828,14 @@ class FlatGossipSimulator(GossipSimulator):
                 else:
                     seen.add(item[1])
                     wave.append(item)
+            tel = self._tel
+            start = perf_counter() if tel is not None else 0.0
             for _, receiver, payload in wave:
                 node = self.nodes[receiver]
                 node.models_received += 1
                 self.arena.merge_row(receiver, payload, self._merge_weight)
+            if tel is not None:
+                self._phase_acc["aggregate"] += (perf_counter() - start) * 1000.0
             self._train_nodes([receiver for _, receiver, _ in wave])
             pending = rest
 
@@ -832,7 +871,14 @@ class FlatGossipSimulator(GossipSimulator):
             )
         if not tasks:
             return
-        results = executor.train_batch(tasks)
+        if self._tel is None:
+            results = executor.train_batch(tasks)
+        else:
+            start = perf_counter()
+            results = executor.train_batch(tasks)
+            self._record_train_batch(
+                executor, len(tasks), (perf_counter() - start) * 1000.0
+            )
         for task, (vector, rng) in zip(tasks, results):
             # In-place executors (copies_task_vectors=False) already
             # wrote results into the arena rows; copying a row onto
@@ -843,15 +889,59 @@ class FlatGossipSimulator(GossipSimulator):
             # so the node's stream advances exactly as it would serially.
             self.nodes[task.node_id].rng = rng
 
+    # -- telemetry ----------------------------------------------------
+
+    def _record_train_batch(
+        self, executor: Executor, n_tasks: int, elapsed_ms: float
+    ) -> None:
+        """Fold one train_batch call into the telemetry accumulators."""
+        self._phase_acc["train"] += elapsed_ms
+        if self._batch_ms is None:
+            reg = self.telemetry.registry
+            self._batch_ms = reg.histogram(
+                "repro_executor_batch_ms",
+                "Wall-clock of one executor train_batch call",
+                labels=("executor",),
+            ).child(executor=executor.name)
+            self._tasks_total = reg.counter(
+                "repro_executor_tasks_total",
+                "Local-update tasks dispatched, by executor",
+                labels=("executor",),
+            ).child(executor=executor.name)
+        self._batch_ms.observe(elapsed_ms)
+        self._tasks_total.inc(n_tasks)
+        # The executor's fallback tallies are cumulative; convert to
+        # counter increments by diffing against what was already shipped.
+        for reason, count in executor.fallback_counts.items():
+            delta = count - self._fallback_seen[reason]
+            if delta > 0:
+                self._fallback_total.inc(delta, reason=reason)
+                self._fallback_seen[reason] = count
+
+    def run_round(self) -> None:
+        super().run_round()
+        if self._tel is not None:
+            # Flush the per-tick accumulators once per round: histogram
+            # samples are per-round phase totals (mmb-style batched
+            # counter flushes), not per-tick noise.
+            for phase, series in self._phase_series.items():
+                series.observe(self._phase_acc[phase])
+                self._phase_acc[phase] = 0.0
+
     # -- main loop ----------------------------------------------------
 
     def run_tick(self) -> None:
         """Phased tick: deliver, wake (merge / batch-train / send),
         publish this tick's sends, advance the clock."""
+        tel = self._tel
+        start = perf_counter() if tel is not None else 0.0
         self._deliver_due()
         self._process_pending()
+        if tel is not None:
+            self._phase_acc["deliver"] += (perf_counter() - start) * 1000.0
         waking = self.schedule.waking_nodes(self.clock.tick)
         if waking:
+            start = perf_counter() if tel is not None else 0.0
             self.rng.shuffle(waking)
             alive: list[int] = []
             for node_id in waking:
@@ -869,10 +959,14 @@ class FlatGossipSimulator(GossipSimulator):
             else:
                 self._base_wakes(alive)
             self._process_pending()
+            if tel is not None:
+                self._phase_acc["wake"] += (perf_counter() - start) * 1000.0
         self.clock.advance()
 
     def _samo_wakes(self, alive: list[int]) -> None:
         """Algorithm 2: merge-once, train (batched), push to all."""
+        tel = self._tel
+        start = perf_counter() if tel is not None else 0.0
         train_ids: list[int] = []
         for node_id in alive:
             node = self.nodes[node_id]
@@ -881,6 +975,8 @@ class FlatGossipSimulator(GossipSimulator):
                 merged = mean_vectors([self.arena.row(node_id)] + inbox)
                 self.arena.write_row(node_id, merged)
                 train_ids.append(node_id)
+        if tel is not None:
+            self._phase_acc["aggregate"] += (perf_counter() - start) * 1000.0
         self._train_nodes(train_ids)
         for node_id in alive:
             row = self.arena.row(node_id)
@@ -905,6 +1001,7 @@ def make_simulator(
     initial_state: State,
     keep_payloads: bool = False,
     model_builder: Callable[[], Module] | None = None,
+    telemetry: Telemetry | None = None,
 ) -> GossipSimulator:
     """Build the simulator selected by ``config.engine``."""
     if config.engine == "flat":
@@ -915,5 +1012,6 @@ def make_simulator(
             initial_state,
             keep_payloads=keep_payloads,
             model_builder=model_builder,
+            telemetry=telemetry,
         )
     return GossipSimulator(config, protocol, splits, initial_state, keep_payloads)

@@ -38,6 +38,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import traceback
+from time import perf_counter
 from typing import Callable, Sequence
 
 import numpy as np
@@ -55,6 +56,7 @@ from repro.gossip.trainer import LocalTrainer, TrainerConfig
 from repro.metrics.evaluation import BatchedEvaluator
 from repro.nn.flat import SharedArena, StateLayout
 from repro.nn.layers import Module
+from repro.telemetry import Registry, Telemetry
 
 __all__ = ["RowPartitioner", "ShardedExecutor"]
 
@@ -166,6 +168,8 @@ def _shard_worker(
     layout: StateLayout,
     split_arrays: SplitArrays,
     train_batch: int,
+    shard_index: int = 0,
+    telemetry_enabled: bool = False,
 ) -> None:
     """Long-lived shard worker loop.
 
@@ -176,7 +180,9 @@ def _shard_worker(
     * ``("train", items, config_or_None)`` — rebuild each task's
       generator, train (blocked where possible, per-row fallback
       otherwise), write result rows into the shared segment, and reply
-      with the advanced generator states plus the fallback-count delta;
+      with the advanced generator states plus the fallback-count delta
+      and (when telemetry is on) the worker-local metric-registry
+      delta — both travel with the task results, never out of band;
     * ``("observe_init", payload)`` — store the observation inputs and
       build the shard's :class:`BatchedEvaluator` once;
     * ``("observe", items)`` — score this shard's rows against the live
@@ -191,6 +197,21 @@ def _shard_worker(
         )
         evaluator = None
         observe_state: dict = {}
+        # Worker-local registry: recorded here, drained into a delta
+        # that rides each train reply (the fallback_counts pattern).
+        registry = Registry() if telemetry_enabled else None
+        shard_train_ms = shard_tasks = None
+        if registry is not None:
+            shard_train_ms = registry.histogram(
+                "repro_shard_train_ms",
+                "Wall-clock of one shard worker's train batch",
+                labels=("shard",),
+            ).child(shard=str(shard_index))
+            shard_tasks = registry.counter(
+                "repro_shard_tasks_total",
+                "Local-update tasks trained, by shard",
+                labels=("shard",),
+            ).child(shard=str(shard_index))
         while True:
             message = conn.recv()
             if message[0] == _STOP:
@@ -233,11 +254,20 @@ def _shard_worker(
                 )
                 for node_id, session, rng_state in items
             ]
-            results = executor.train_batch(tasks)
+            if registry is None:
+                results = executor.train_batch(tasks)
+            else:
+                start = perf_counter()
+                results = executor.train_batch(tasks)
+                shard_train_ms.observe((perf_counter() - start) * 1000.0)
+                shard_tasks.inc(len(tasks))
             for task, (vector, _) in zip(tasks, results):
                 arena.data[task.node_id][...] = vector
             fallback_delta = dict(executor.fallback_counts)
             executor.fallback_counts.clear()
+            telemetry_delta = (
+                registry.collect_delta() if registry is not None else None
+            )
             conn.send(
                 (
                     "ok",
@@ -247,6 +277,7 @@ def _shard_worker(
                             for task in tasks
                         ],
                         fallback_delta,
+                        telemetry_delta,
                     ),
                 )
             )
@@ -359,6 +390,7 @@ class ShardedExecutor(Executor):
         train_batch: int = 0,
         partition: str = "contiguous",
         trainer: "LocalTrainer | None" = None,
+        telemetry: Telemetry | None = None,
     ):
         if model_builder is None:
             raise ValueError(
@@ -403,10 +435,14 @@ class ShardedExecutor(Executor):
         self._config_override: TrainerConfig | None = None
         self._shard_config: list[TrainerConfig] = []
         self._observe_ready = False
+        # Shard workers record into worker-local registries; replies
+        # carry collect_delta() payloads that are folded in here.
+        telemetry_enabled = telemetry is not None and telemetry.enabled
+        self._registry = telemetry.registry if telemetry_enabled else None
         self._conns = []
         self._procs = []
         ctx = _mp_context()
-        for rows in shard_rows:
+        for shard_index, rows in enumerate(shard_rows):
             parent_conn, child_conn = ctx.Pipe()
             process = ctx.Process(
                 target=_shard_worker,
@@ -421,6 +457,8 @@ class ShardedExecutor(Executor):
                     layout,
                     {int(i): split_arrays[int(i)] for i in rows},
                     train_batch,
+                    shard_index,
+                    telemetry_enabled,
                 ),
                 daemon=True,
             )
@@ -481,9 +519,11 @@ class ShardedExecutor(Executor):
                 ) from None
         results: list = [None] * len(tasks)
         for shard, indices in by_shard.items():
-            rng_states, fallback_delta = self._recv(shard)
+            rng_states, fallback_delta, telemetry_delta = self._recv(shard)
             if fallback_delta:
                 self.fallback_counts.update(fallback_delta)
+            if telemetry_delta and self._registry is not None:
+                self._registry.merge_delta(telemetry_delta)
             for i, (node_id, rng_state) in zip(indices, rng_states):
                 task = tasks[i]
                 if task.node_id != node_id:

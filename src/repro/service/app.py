@@ -49,6 +49,7 @@ from repro.service.middleware import (
 )
 from repro.service.router import Router
 from repro.service.sse import format_event
+from repro.telemetry import Telemetry
 
 __all__ = ["StudyService", "make_server", "serve"]
 
@@ -67,11 +68,19 @@ class StudyService:
         round_hook: Callable[[StudyJob, object], None] | None = None,
         state_dir: str | Path | None = None,
         checkpoint_hook: Callable[[StudyJob], None] | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self._tmpdir: tempfile.TemporaryDirectory | None = None
         if checkpoint_dir is None and state_dir is None:
             self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-service-")
             checkpoint_dir = self._tmpdir.name
+        # Engine-side telemetry is on by default, with result
+        # annotation OFF: a study's result bytes must stay identical
+        # to a plain run_study of the same config (the replay/cache
+        # contract the smoke test asserts byte for byte).
+        if telemetry is None:
+            telemetry = Telemetry(enabled=True, annotate_results=False)
+        self.telemetry = telemetry
         self.cache = ResponseCacheMiddleware(max_entries=cache_entries)
         self.manager = JobManager(
             checkpoint_dir,
@@ -79,6 +88,7 @@ class StudyService:
             round_hook=round_hook,
             state_dir=state_dir,
             checkpoint_hook=checkpoint_hook,
+            telemetry=telemetry,
             # Invalidate before the state flips to FAILED, so a waiter
             # that observes the failure already sees a clean cache and
             # its resubmission triggers the fresh run submit() promises.
@@ -136,10 +146,14 @@ class StudyService:
         return json_response({"status": "ok"})
 
     def _metrics(self, ctx, request, params) -> Response:
+        # One scrape shows the whole stack: the HTTP middleware's
+        # families followed by the engine registry (round phases,
+        # executor timings, shard deltas, fallback counters).
+        body = self.metrics.render() + self.telemetry.registry.render()
         return Response(
             status=200,
             headers={"Content-Type": "text/plain; charset=utf-8"},
-            body=self.metrics.render().encode("utf-8"),
+            body=body.encode("utf-8"),
         )
 
     def _post_study(self, ctx, request, params) -> Response:

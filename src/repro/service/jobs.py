@@ -38,6 +38,7 @@ from typing import Callable, Iterator
 from repro.core.config import config_hash
 from repro.core.study import Study, StudyConfig
 from repro.service.persistence import JobJournal, load_state
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = ["StudyJob", "JobManager", "QUEUED", "RUNNING", "DONE", "FAILED", "CANCELLED"]
 
@@ -70,6 +71,9 @@ class StudyJob:
         self.result_json: str | None = None
         self.checkpoint_path: Path | None = None
         self.checkpoint_rounds: int | None = None  # rounds the file covers
+        # Live view of the executor's fallback tallies (updated at
+        # each round boundary while the study runs).
+        self.fallback_counts: dict[str, int] = {}
         self.discard = False  # DELETEd while running: skip checkpoint/result
         self._cancel_requested = False
         self._study: Study | None = None
@@ -152,6 +156,7 @@ class StudyJob:
                 "rounds_total": self.config.rounds,
                 "request_id": self.request_id,
                 "error": self.error,
+                "fallback_counts": dict(self.fallback_counts),
                 "resumable": self.checkpoint_path is not None
                 and self.state == CANCELLED,
             }
@@ -220,11 +225,17 @@ class JobManager:
         on_failed: Callable[[StudyJob], None] | None = None,
         checkpoint_hook: Callable[[StudyJob], None] | None = None,
         compact_every: int = 512,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if workers <= 0:
             raise ValueError("workers must be positive")
         if checkpoint_dir is None and state_dir is None:
             raise ValueError("need a checkpoint_dir or a state_dir")
+        # Shared telemetry: job spans carry the request id as trace id,
+        # and every study this manager runs records into its registry
+        # (with result annotation off the service keeps result bytes
+        # identical to a plain run_study of the same config).
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.state_dir = Path(state_dir) if state_dir is not None else None
         if checkpoint_dir is None:
             checkpoint_dir = self.state_dir / "checkpoints"
@@ -309,6 +320,7 @@ class JobManager:
                 "config": config.to_dict(),
                 "config_hash": job.config_hash,
                 "request_id": request_id,
+                "trace_id": request_id or job.id,
             }
         )
         self._queue.put((job, "run"))
@@ -520,6 +532,10 @@ class JobManager:
                     "event": event,
                     "job": job.id,
                     "request_id": job.request_id,
+                    # The request id doubles as the trace id of the
+                    # job's telemetry spans, so a log line and a span
+                    # dump join on one key.
+                    "trace_id": job.request_id or job.id,
                     "state": state if state is not None else job.state,
                     "config_hash": job.config_hash,
                 },
@@ -637,6 +653,14 @@ class JobManager:
                 self._fail(job, f"{type(exc).__name__}: {exc}")
 
     def _execute(self, job: StudyJob, mode: str) -> None:
+        # The worker thread's spans all belong to the submitting
+        # request: X-Request-ID (or the job id) is the trace id.
+        tracer = self.telemetry.tracer
+        tracer.set_trace_id(job.request_id or job.id)
+        with tracer.span("job.execute", job=job.id, mode=mode):
+            self._run_job(job, mode)
+
+    def _run_job(self, job: StudyJob, mode: str) -> None:
         if job.cancel_requested and mode == "run" and not job.frames:
             # Cancelled while still queued: nothing ran, nothing to keep.
             self._log_event("job_cancelled", job, state=CANCELLED)
@@ -647,9 +671,11 @@ class JobManager:
             return
         try:
             if mode == "resume":
-                study = Study.resume(job.checkpoint_path)
+                study = Study.resume(
+                    job.checkpoint_path, telemetry=self.telemetry
+                )
             else:
-                study = Study(job.config)
+                study = Study(job.config, telemetry=self.telemetry)
                 study.build()
         except Exception as exc:
             self._fail(job, f"{type(exc).__name__}: {exc}")
@@ -690,6 +716,10 @@ class JobManager:
                 for record in study.iter_rounds():
                     frame = record.to_json()
                     job._append_frame(frame)
+                    fallbacks = study.simulator.fallback_counts()
+                    if fallbacks:
+                        with job._cond:
+                            job.fallback_counts = dict(fallbacks)
                     self._journal_event(
                         {
                             "event": "frame",

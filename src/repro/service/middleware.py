@@ -209,7 +209,16 @@ class MetricsMiddleware(Middleware):
     collapses study ids; latency is accumulated as sum + count per
     ``(method, route)`` so consumers can derive means. ``render()``
     produces the Prometheus-style exposition served at ``/metrics``.
+
+    Label cardinality is bounded on both axes: ``route`` collapses ids
+    and unknown paths, and ``method`` collapses anything outside the
+    standard HTTP verbs to ``other`` — an arbitrary request line must
+    not mint an unbounded set of series.
     """
+
+    _KNOWN_METHODS = frozenset(
+        {"GET", "POST", "PUT", "DELETE", "PATCH", "HEAD", "OPTIONS"}
+    )
 
     def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
         self._clock = clock
@@ -231,10 +240,15 @@ class MetricsMiddleware(Middleware):
 
     def _observe(self, request: Request, status: int, elapsed: float) -> None:
         route = _route_label(request.path)
+        method = (
+            request.method
+            if request.method in self._KNOWN_METHODS
+            else "other"
+        )
         with self._lock:
-            key = (request.method, route, status)
+            key = (method, route, status)
             self._requests[key] = self._requests.get(key, 0) + 1
-            lkey = (request.method, route)
+            lkey = (method, route)
             self._latency_ms[lkey] = (
                 self._latency_ms.get(lkey, 0.0) + elapsed * 1000.0
             )

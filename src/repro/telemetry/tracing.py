@@ -1,0 +1,244 @@
+"""Nestable tracing spans with bounded buffering and JSONL export.
+
+A :class:`Tracer` keeps one span stack *per thread* (the service runs
+several study workers against one tracer), so nesting works without
+any caller-side bookkeeping::
+
+    tracer.set_trace_id(request_id)
+    with tracer.span("job.execute", job=job_id):
+        with tracer.span("study.round", round=0):
+            ...
+
+Finished spans land in a bounded buffer (oldest kept — the head of a
+trace is the interesting part; overflow is counted, never silent) and
+export as one JSON object per line: ``trace_id`` / ``span_id`` /
+``parent_id`` reconstruct the tree, ``start_ms`` is relative to the
+tracer's epoch so files diff cleanly across runs.
+
+Timing uses ``time.perf_counter`` only — tracing never touches any
+RNG, which is what keeps fixed-seed results bit-identical with
+telemetry on (pinned by ``tests/telemetry/test_determinism.py``).
+
+:data:`NULL_TRACER` is the disabled default: ``span()`` hands back one
+shared no-op context manager, so un-traced paths pay a method call and
+nothing else.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from time import perf_counter
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+class Span:
+    """One timed operation; ``attributes`` are small JSON-ready values."""
+
+    __slots__ = (
+        "name", "trace_id", "span_id", "parent_id", "start", "end", "attributes"
+    )
+
+    def __init__(self, name, trace_id, span_id, parent_id, start, attributes):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end = start
+        self.attributes = attributes
+
+    def duration_ms(self) -> float:
+        return (self.end - self.start) * 1000.0
+
+    def to_dict(self, epoch: float) -> dict:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_ms": round((self.start - epoch) * 1000.0, 3),
+            "duration_ms": round(self.duration_ms(), 3),
+            "attributes": self.attributes,
+        }
+
+
+class _SpanHandle:
+    """Context manager binding one started span to its tracer."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    @property
+    def span(self) -> Span:
+        return self._span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self._span.attributes["error"] = exc_type.__name__
+        self._tracer.end_span(self._span)
+        return False
+
+
+class Tracer:
+    """Span factory + bounded finished-span buffer."""
+
+    enabled = True
+
+    def __init__(self, max_spans: int = 10_000):
+        if max_spans <= 0:
+            raise ValueError("max_spans must be positive")
+        self.epoch = perf_counter()
+        self.max_spans = max_spans
+        self._finished: list[Span] = []
+        self._dropped = 0
+        self._counter = 0
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- trace context (per thread) ------------------------------------
+
+    def set_trace_id(self, trace_id: str) -> None:
+        """Stamp every span this thread starts from now on."""
+        self._local.trace_id = str(trace_id)
+
+    @property
+    def trace_id(self) -> str:
+        return getattr(self._local, "trace_id", "")
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    # -- span lifecycle ------------------------------------------------
+
+    def span(self, name: str, **attributes) -> _SpanHandle:
+        """Start a span; use as a context manager (nesting via the
+        thread's stack)."""
+        return _SpanHandle(self, self.start_span(name, **attributes))
+
+    def start_span(self, name: str, **attributes) -> Span:
+        stack = self._stack()
+        parent_id = stack[-1].span_id if stack else ""
+        with self._lock:
+            self._counter += 1
+            span_id = f"s{self._counter:06d}"
+        span = Span(
+            name, self.trace_id, span_id, parent_id, perf_counter(), attributes
+        )
+        stack.append(span)
+        return span
+
+    def end_span(self, span: Span) -> None:
+        span.end = perf_counter()
+        stack = self._stack()
+        # Tolerate out-of-order ends (a generator abandoned mid-span):
+        # close everything the span was covering.
+        while stack:
+            top = stack.pop()
+            if top is span:
+                break
+        with self._lock:
+            if len(self._finished) < self.max_spans:
+                self._finished.append(span)
+            else:
+                self._dropped += 1
+
+    def event(self, name: str, **attributes) -> None:
+        """Record a zero-duration marker span (e.g. an early stop)."""
+        self.end_span(self.start_span(name, **attributes))
+
+    # -- inspection / export -------------------------------------------
+
+    def spans(self) -> list[Span]:
+        with self._lock:
+            return list(self._finished)
+
+    @property
+    def dropped(self) -> int:
+        with self._lock:
+            return self._dropped
+
+    def export(self) -> list[dict]:
+        """Finished spans as JSON-ready dicts, in completion order."""
+        epoch = self.epoch
+        return [span.to_dict(epoch) for span in self.spans()]
+
+    def dump_jsonl(self, path: str | Path) -> int:
+        """Write one JSON object per finished span; returns the count."""
+        records = self.export()
+        payload = "".join(
+            json.dumps(r, sort_keys=True, separators=(",", ":")) + "\n"
+            for r in records
+        )
+        Path(path).write_text(payload, encoding="utf-8")
+        return len(records)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._finished = []
+            self._dropped = 0
+
+
+class _NullSpanHandle:
+    __slots__ = ()
+
+    span = None
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpanHandle()
+
+
+class NullTracer:
+    """Disabled default: one shared no-op handle, nothing recorded."""
+
+    enabled = False
+    epoch = 0.0
+    trace_id = ""
+    dropped = 0
+
+    def set_trace_id(self, trace_id: str) -> None:
+        pass
+
+    def span(self, name: str, **attributes) -> _NullSpanHandle:
+        return _NULL_SPAN
+
+    def start_span(self, name: str, **attributes):
+        return None
+
+    def end_span(self, span) -> None:
+        pass
+
+    def event(self, name: str, **attributes) -> None:
+        pass
+
+    def spans(self) -> list:
+        return []
+
+    def export(self) -> list:
+        return []
+
+    def dump_jsonl(self, path) -> int:
+        return 0
+
+    def reset(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()

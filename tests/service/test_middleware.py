@@ -183,6 +183,37 @@ class TestMetricsMiddleware:
         )
         assert 'repro_request_latency_ms_count{method="GET",route="/healthz"} 1' in text
 
+    def test_unknown_methods_collapse_to_other(self):
+        # An arbitrary request line must not mint unbounded method
+        # labels: anything outside the standard verbs becomes "other".
+        clock = FakeClock()
+        mw = MetricsMiddleware(clock=clock)
+
+        def ok(ctx, request):
+            clock.advance(0.005)
+            return json_response({})
+
+        run(mw, req(method="BREW", path="/healthz"), ok)
+        run(mw, req(method="SPAM", path="/healthz"), ok)
+        run(mw, req(method="GET", path="/healthz"), ok)
+        counters = mw.counters()
+        assert counters["requests"][("other", "/healthz", 200)] == 2
+        assert counters["requests"][("GET", "/healthz", 200)] == 1
+        assert ("BREW", "/healthz", 200) not in counters["requests"]
+        assert counters["latency_ms"][("other", "/healthz")] == (
+            pytest.approx(10.0)
+        )
+        assert counters["latency_count"][("other", "/healthz")] == 2
+        methods = {key[0] for key in counters["requests"]}
+        assert methods == {"GET", "other"}
+        assert 'method="other"' in mw.render()
+
+    def test_unknown_method_errors_use_other_label(self):
+        mw = MetricsMiddleware(clock=FakeClock())
+        run(mw, req(method="BREW"), lambda ctx, r: json_response({}, status=503))
+        counters = mw.counters()
+        assert counters["errors"][("other", "/studies")] == 1
+
 
 # -- token bucket -------------------------------------------------------
 

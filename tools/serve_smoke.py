@@ -58,11 +58,19 @@ SMOKE_PAYLOAD = {
 }
 
 
-def request(port: int, method: str, path: str, body: bytes | None = None):
+def request(
+    port: int,
+    method: str,
+    path: str,
+    body: bytes | None = None,
+    headers: dict[str, str] | None = None,
+):
     conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
     try:
-        headers = {"Content-Type": "application/json"} if body else {}
-        conn.request(method, path, body=body, headers=headers)
+        sent = {"Content-Type": "application/json"} if body else {}
+        if headers:
+            sent.update(headers)
+        conn.request(method, path, body=body, headers=sent)
         resp = conn.getresponse()
         return resp.status, dict(resp.getheaders()), resp.read()
     finally:
@@ -123,9 +131,13 @@ def kill_restart_leg() -> None:
 
     with tempfile.TemporaryDirectory(prefix="serve-smoke-state-") as tmp:
         state_dir = Path(tmp) / "state"
+        trace_id = "serve-smoke-trace-1"
         process, port = spawn_server(state_dir)
         try:
-            status, _, body = request(port, "POST", "/studies", payload)
+            status, _, body = request(
+                port, "POST", "/studies", payload,
+                headers={"X-Request-ID": trace_id},
+            )
             assert status == 200, f"submit -> {status}: {body!r}"
             job_id = json.loads(body)["id"]
             # Wait until at least two rounds (and their checkpoints)
@@ -137,6 +149,26 @@ def kill_restart_leg() -> None:
             process.kill()
             process.wait(timeout=30)
         print("serve-smoke: SIGKILLed the server mid-study")
+
+        # The request id rode into the durable journal as the trace id,
+        # so post-mortem debugging can correlate journal events with
+        # client-side request logs.
+        journal_events = [
+            json.loads(line)
+            for line in (state_dir / "journal.jsonl")
+            .read_text(encoding="utf-8")
+            .splitlines()
+            if line.strip()
+        ]
+        traced = [
+            e for e in journal_events
+            if e.get("trace_id") == trace_id and e.get("job") == job_id
+        ]
+        assert traced, (
+            f"no journal event carries trace id {trace_id!r}: "
+            f"{journal_events[:3]}"
+        )
+        print("serve-smoke: journal events carry the request trace id")
 
         process, port = spawn_server(state_dir)
         try:
@@ -174,6 +206,18 @@ def kill_restart_leg() -> None:
                 "resumed result not bit-identical to uninterrupted run"
             )
             print("serve-smoke: resume after crash is bit-identical")
+
+            # The restarted process built its own telemetry registry;
+            # the resumed rounds must show up in its /metrics too.
+            status, _, metrics = request(port, "GET", "/metrics")
+            assert status == 200, f"metrics -> {status}"
+            assert b"repro_engine_phase_ms" in metrics, (
+                "restarted server /metrics lacks engine series"
+            )
+            assert b"repro_study_round_ms" in metrics, (
+                "restarted server /metrics lacks study round series"
+            )
+            print("serve-smoke: restarted server exports engine metrics")
         finally:
             process.kill()
             process.wait(timeout=30)
@@ -221,8 +265,17 @@ def main() -> int:
         )
         print("serve-smoke: cache hit byte-identical, builds_performed=1")
 
+        # One scrape carries the HTTP middleware families *and* the
+        # engine registry the study just filled in.
         status, _, metrics = request(port, "GET", "/metrics")
         assert status == 200 and b"repro_requests_total" in metrics
+        assert b"repro_engine_phase_ms" in metrics, (
+            "engine phase histograms missing from /metrics"
+        )
+        assert b"repro_study_round_ms" in metrics, (
+            "study round histogram missing from /metrics"
+        )
+        print("serve-smoke: /metrics merges HTTP and engine series")
     finally:
         server.shutdown()
         server.server_close()
