@@ -38,9 +38,12 @@ examples:
 serve-smoke:
 	$(PYTHON) tools/serve_smoke.py
 
-## Static checks: byte-compile everything (no third-party linter needed).
+## Static checks: byte-compile everything, then run the repo's own
+## invariant checker (determinism / locks / lifecycle / purity rules —
+## see docs/static-analysis.md). Stdlib-only, no third-party linter.
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples tools
+	$(PYTHON) -m tools.reprolint src tests benchmarks examples tools
 
 ## Documentation: fail on broken relative links in README.md / docs/*.md.
 docs-check:

@@ -87,6 +87,7 @@ def test_ablation_shadow_vs_threshold(benchmark, scale):
                 ).accuracy
             )
             t_shadow += time.perf_counter() - t0
+        study.close()
         return {
             "mpe_acc": float(np.mean(mpe_acc)),
             "shadow_acc": float(np.mean(shadow_acc)),

@@ -371,6 +371,8 @@ class TestTrainingThroughput:
             f"batched training only {speedup:.1f}x faster than the "
             f"per-row serial executor (required: 2x)"
         )
+        serial.close()
+        batched.close()
 
 
 class TestDPTrainingThroughput:
@@ -464,6 +466,8 @@ class TestDPTrainingThroughput:
             f"vectorized DP-SGD only {speedup:.1f}x faster than the "
             f"per-row serial executor (required: 2x)"
         )
+        serial.close()
+        batched.close()
 
 
 class TestShardedThroughput:
@@ -550,6 +554,7 @@ class TestShardedThroughput:
                 np.testing.assert_array_equal(b_vec, s_vec)
                 assert b_rng.random() == s_rng.random()
         finally:
+            batched.close()
             sharded.close()
             arena.release()
 
@@ -590,6 +595,7 @@ class TestShardedThroughput:
                 ),
             )
         finally:
+            batched.close()
             sharded.close()
             arena.release()
         speedup = batched_time / sharded_time

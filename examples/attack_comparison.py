@@ -76,6 +76,7 @@ def main() -> None:
         "like a member to entropy but not to MPE. The paper uses MPE "
         "as its worst-case-yet-cheap privacy probe."
     )
+    study.close()
 
 
 if __name__ == "__main__":

@@ -23,8 +23,8 @@ from __future__ import annotations
 
 import json
 import os
-import time
 from itertools import product
+from time import perf_counter
 from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
@@ -56,11 +56,13 @@ def _run_study_timed(
     config: StudyConfig, submitted_ts: float
 ) -> tuple[RunResult, float, float]:
     """Pool-side wrapper: run one study and report (result, queue-wait
-    seconds, wall seconds). Uses ``time.time()`` so the wait is
-    comparable across the parent/worker process boundary."""
-    started = time.time()
+    seconds, wall seconds). Uses ``perf_counter`` — on the platforms we
+    run on it reads the system-wide monotonic clock, so the wait stays
+    comparable across the parent/worker process boundary and cannot go
+    negative under NTP slew the way ``time.time()`` could."""
+    started = perf_counter()
     result = run_study(config)
-    return result, started - submitted_ts, time.time() - started
+    return result, started - submitted_ts, perf_counter() - started
 
 
 def _axis_values(name: str, values) -> list:
@@ -285,20 +287,20 @@ class Campaign:
                 "Wall-clock of one campaign study, end to end",
                 labels=("study",),
             )
-            submitted_ts = time.time()
+            submitted_ts = perf_counter()
         if jobs == 1 or len(pending) <= 1:
             for config in pending:
                 if tel is None:
                     result = run_study(config)
                 else:
-                    started = time.time()
+                    started = perf_counter()
                     queue_hist.observe(
                         (started - submitted_ts) * 1000.0, study=config.name
                     )
                     with tel.tracer.span("campaign.study", study=config.name):
                         result = run_study(config)
                     wall_hist.observe(
-                        (time.time() - started) * 1000.0, study=config.name
+                        (perf_counter() - started) * 1000.0, study=config.name
                     )
                 self._save(result)
                 results[config.name] = result

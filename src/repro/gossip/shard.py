@@ -189,6 +189,7 @@ def _shard_worker(
       arena and reply with per-row scores and accuracies.
     """
     arena = None
+    executor = None
     try:
         arena = SharedArena.attach(segment, n_rows, dim, dtype)
         trainer = LocalTrainer(model_builder(), trainer_config)
@@ -289,6 +290,8 @@ def _shard_worker(
         except OSError:  # pragma: no cover - pipe already gone
             pass
     finally:
+        if executor is not None:
+            executor.close()
         if arena is not None:
             arena.close()
         conn.close()

@@ -126,7 +126,9 @@ def average_states(states: list[State], weights: list[float] | None = None) -> S
         if set(state) != keys:
             raise KeyError("states have mismatched keys")
     out: State = {}
-    for name in keys:
+    # Sorted so the output State has a deterministic key order (set
+    # iteration is hash-ordered, and downstream packing walks the dict).
+    for name in sorted(keys):
         acc = np.zeros_like(states[0][name])
         for weight, state in zip(weights, states):
             acc += weight * state[name]

@@ -319,6 +319,18 @@ class _ServiceHTTPHandler(BaseHTTPRequestHandler):
         try:
             response = self.service.handle(self._request())
         except Exception as exc:  # the transport must not die with the app
+            logging.getLogger("repro.service.error").exception(
+                "%s",
+                json.dumps(
+                    {
+                        "event": "transport_error",
+                        "method": self.command,
+                        "path": self.path,
+                        "status": 500,
+                    },
+                    sort_keys=True,
+                ),
+            )
             response = json_response(
                 {"error": f"internal error: {type(exc).__name__}"}, status=500
             )

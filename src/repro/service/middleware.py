@@ -220,8 +220,13 @@ class MetricsMiddleware(Middleware):
         {"GET", "POST", "PUT", "DELETE", "PATCH", "HEAD", "OPTIONS"}
     )
 
-    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.monotonic,
+        logger: logging.Logger | None = None,
+    ) -> None:
         self._clock = clock
+        self._log = logger or logging.getLogger("repro.service.error")
         self._lock = threading.Lock()
         self._requests: dict[tuple[str, str, int], int] = {}
         self._latency_ms: dict[tuple[str, str], float] = {}
@@ -233,7 +238,24 @@ class MetricsMiddleware(Middleware):
         try:
             response = call_next(ctx, request)
         except Exception:
+            # Exceptions from the stages between metrics and the error
+            # boundary (rate limiter, cache) land here. They keep
+            # propagating — the transport owns the response — but must
+            # not travel unlogged: the boundary never saw them.
             self._observe(request, 500, self._clock() - start)
+            self._log.exception(
+                "%s",
+                json.dumps(
+                    {
+                        "event": "middleware_error",
+                        "request_id": ctx.request_id,
+                        "method": request.method,
+                        "path": request.path,
+                        "status": 500,
+                    },
+                    sort_keys=True,
+                ),
+            )
             raise
         self._observe(request, response.status, self._clock() - start)
         return response

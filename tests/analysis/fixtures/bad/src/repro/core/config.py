@@ -1,0 +1,9 @@
+"""purity-config-import: the config layer must stay telemetry-free."""
+
+import json
+
+from repro.telemetry import Telemetry  # purity-config-import
+
+
+def config_hash(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True)

@@ -1,0 +1,25 @@
+"""Lifecycle violations: close()-owning classes constructed bare."""
+
+
+class WorkerPool:
+    def close(self):
+        pass
+
+    def run(self, tasks):
+        return list(tasks)
+
+
+class ShardPool(WorkerPool):
+    """Inherits the close() obligation."""
+
+
+def leak_direct(tasks):
+    pool = WorkerPool()  # lifecycle-unmanaged: never closed
+    results = pool.run(tasks)
+    return len(results)
+
+
+def leak_subclass(tasks):
+    pool = ShardPool()  # lifecycle-unmanaged: inherited close()
+    results = pool.run(tasks)
+    return len(results)

@@ -1,0 +1,36 @@
+"""Purity violations: mutable defaults, non-JSON config fields,
+telemetry objects riding inside configs and task payloads."""
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.telemetry import Telemetry
+
+
+@dataclass
+class SweepConfig:
+    name: str
+    rounds: int
+    on_round: Callable  # purity-config-field: not JSON-round-trippable
+
+
+@dataclass
+class ShardTask:
+    node_id: int
+    tel: Telemetry  # purity-telemetry-field: telemetry in a payload
+
+
+@dataclass
+class ProbeConfig:
+    label: str
+    tracer: "Tracer"  # purity-telemetry-field (string annotation)
+
+
+def accumulate(value, acc=[]):  # purity-mutable-default
+    acc.append(value)
+    return acc
+
+
+def tag(value, seen={}):  # purity-mutable-default
+    seen[value] = True
+    return seen

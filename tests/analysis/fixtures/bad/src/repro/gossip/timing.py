@@ -1,0 +1,33 @@
+"""Determinism violations: every det-* rule fires in this module."""
+
+import random
+import time
+import uuid
+from datetime import datetime
+from time import perf_counter
+
+import numpy as np
+
+
+def stamp_round(record):
+    record["at"] = time.time()  # det-wall-clock
+    record["day"] = datetime.now()  # det-wall-clock
+    return record
+
+
+def time_training(tel):
+    start = perf_counter()  # det-perf-counter: no telemetry guard
+    jitter = random.random()  # det-random: hidden global state
+    noise = np.random.rand(4)  # det-random: numpy legacy global RNG
+    rng = np.random.default_rng()  # det-unseeded-rng: OS entropy
+    token = uuid.uuid4()  # det-hash-seed: OS entropy
+    return start, jitter, noise, rng, token
+
+
+def mix_neighbors(rng):
+    view = {1, 2, 3}
+    total = 0.0
+    for node in view:  # det-set-iter: hash order feeds the RNG draws
+        total += node * rng.normal()
+    weights = [node * 0.5 for node in {4, 5}]  # det-set-iter: literal
+    return total, weights

@@ -1,0 +1,33 @@
+"""Lock-discipline violations: ordering cycle + blocking under a lock."""
+
+import json
+import threading
+
+
+class JobTable:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition()
+        self._jobs = {}
+
+    def submit(self, job):
+        with self._lock:
+            with self._cond:  # acquires _cond while holding _lock...
+                self._jobs[job.id] = job
+
+    def drain(self):
+        with self._cond:
+            with self._lock:  # lock-order-cycle: ...and vice versa here
+                return list(self._jobs)
+
+    def checkpoint(self, path):
+        with self._lock:
+            # lock-blocking-call: file I/O inside the critical section
+            with open(path, "w") as fh:
+                json.dump(self._jobs, fh)
+
+    def finish(self, job):
+        with self._lock:
+            self._jobs.pop(job.id, None)
+            self._journal.record(job)  # lock-blocking-call: journal write
+            job.on_done()  # lock-blocking-call: user callback

@@ -1,0 +1,10 @@
+"""The compliant twin of bad/src/repro/core/config.py: no telemetry
+import anywhere in the config layer."""
+
+import hashlib
+import json
+
+
+def config_hash(payload: dict) -> str:
+    canonical = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()

@@ -1,0 +1,47 @@
+"""The compliant twin of bad/src/repro/core/lifecycle.py: every
+construction visibly discharges (or hands off) the close() obligation."""
+
+import weakref
+
+
+class WorkerPool:
+    def close(self):
+        pass
+
+    def run(self, tasks):
+        return list(tasks)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+def managed_with(tasks):
+    with WorkerPool() as pool:  # ok: context manager
+        return pool.run(tasks)
+
+
+def managed_finally(tasks):
+    pool = WorkerPool()  # ok: closed in a finally
+    try:
+        return pool.run(tasks)
+    finally:
+        pool.close()
+
+
+def managed_finalizer():
+    pool = WorkerPool()  # ok: GC fallback registered
+    weakref.finalize(pool, pool.close)
+    return None
+
+
+def factory():
+    pool = WorkerPool()  # ok: returned — the caller owns it now
+    return pool
+
+
+class Engine:
+    def __init__(self):
+        self._pool = WorkerPool()  # ok: stored on an attribute

@@ -1,0 +1,40 @@
+"""The compliant twin of bad/src/repro/gossip/timing.py: the same
+shapes written inside the repo's determinism contract."""
+
+from time import perf_counter
+
+import numpy as np
+
+
+def time_training(tel):
+    # perf_counter only under the telemetry-guard idiom: the
+    # un-instrumented path provably reads no clocks.
+    start = perf_counter() if tel is not None else 0.0
+    if tel is not None:
+        elapsed = perf_counter() - start
+        tel.registry.histogram("round_ms").observe(elapsed * 1000.0)
+    return start
+
+
+def time_training_early_return(tel, work):
+    if tel is None:
+        work()
+        return 0.0
+    start = perf_counter()  # ok: the early return above dominates
+    work()
+    return perf_counter() - start
+
+
+def seeded_generators(seed: int):
+    rng = np.random.default_rng(seed)  # ok: derived from the study seed
+    child = np.random.default_rng(seed + 1)
+    return rng, child
+
+
+def mix_neighbors(neighbors: set, rng):
+    total = 0.0
+    for node in sorted(neighbors):  # ok: stable order before RNG draws
+        total += rng.normal()
+    if 3 in {1, 2, 3}:  # ok: membership tests are order-free
+        total += 1.0
+    return total

@@ -1,0 +1,39 @@
+"""The compliant twin of bad/src/repro/service/locks.py: one global
+lock order, blocking work hoisted out of the critical sections."""
+
+import json
+import threading
+
+
+class JobTable:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition()
+        self._jobs = {}
+
+    def submit(self, job):
+        # One global order: _lock before _cond, everywhere.
+        with self._lock:
+            with self._cond:
+                self._jobs[job.id] = job
+
+    def drain(self):
+        with self._lock:
+            with self._cond:
+                return list(self._jobs)
+
+    def wait_for_work(self):
+        with self._cond:
+            self._cond.wait()  # ok: waiting is why the lock is held
+
+    def checkpoint(self, path):
+        with self._lock:
+            snapshot = dict(self._jobs)  # copy under the lock...
+        with open(path, "w") as fh:  # ...write outside it
+            json.dump(snapshot, fh)
+
+    def finish(self, job):
+        with self._lock:
+            self._jobs.pop(job.id, None)
+        self._journal.record(job)  # journal + callback outside the lock
+        job.on_done()

@@ -201,3 +201,75 @@ class TestResume:
         rerun = Campaign(configs, out_dir=tmp_path).run(jobs=1)
         assert set(rerun) == {"m0", "m1"}
         assert campaign.result_path("m1").exists()  # recomputed + saved
+
+
+class TestCampaignTiming:
+    """Regression: campaign queue-wait/wall histograms must be fed from
+    the monotonic clock, not ``time.time()``. A backwards wall-clock
+    step (NTP slew, manual adjustment) used to record negative queue
+    waits and garbage wall times."""
+
+    @staticmethod
+    def _install_clocks(monkeypatch):
+        """Monotonic fake perf_counter (+1 s per call) next to a
+        wall clock that steps BACKWARDS 100 s per read. If the runner
+        ever regresses to ``time.time()``, the recorded durations go
+        negative and the exact-value asserts below fail."""
+        import time as time_module
+
+        from repro.experiments import runner
+
+        mono = {"now": 100.0}
+
+        def fake_perf_counter():
+            mono["now"] += 1.0
+            return mono["now"]
+
+        wall = {"now": 1e9}
+
+        def fake_wall_clock():
+            wall["now"] -= 100.0
+            return wall["now"]
+
+        monkeypatch.setattr(runner, "perf_counter", fake_perf_counter)
+        monkeypatch.setattr(time_module, "time", fake_wall_clock)
+        return runner
+
+    def test_serial_histograms_record_monotonic_durations(self, monkeypatch):
+        from repro.metrics.records import RunResult
+        from repro.telemetry import Telemetry
+
+        runner = self._install_clocks(monkeypatch)
+        monkeypatch.setattr(
+            runner, "run_study", lambda config: RunResult(config_name=config.name)
+        )
+        tel = Telemetry()
+        configs = [tiny_config(name=f"t{i}") for i in range(2)]
+        Campaign(configs, telemetry=tel).run(jobs=1)
+
+        queue = tel.registry.get("repro_campaign_queue_wait_ms")
+        wall = tel.registry.get("repro_campaign_study_wall_ms")
+        # Clock trace: submit=101; t0 starts=102, ends=103; t1
+        # starts=104, ends=105 — so queue waits are 1 s and 3 s and
+        # each study's wall time is exactly 1 s.
+        assert queue.count(study="t0") == 1
+        assert queue.sum(study="t0") == pytest.approx(1_000.0)
+        assert queue.sum(study="t1") == pytest.approx(3_000.0)
+        assert wall.sum(study="t0") == pytest.approx(1_000.0)
+        assert wall.sum(study="t1") == pytest.approx(1_000.0)
+
+    def test_run_study_timed_wrapper_is_wall_clock_immune(self, monkeypatch):
+        from repro.metrics.records import RunResult
+
+        runner = self._install_clocks(monkeypatch)
+        monkeypatch.setattr(
+            runner, "run_study", lambda config: RunResult(config_name=config.name)
+        )
+        submitted = runner.perf_counter()  # 101
+        result, wait_s, wall_s = runner._run_study_timed(
+            tiny_config(name="w"), submitted
+        )
+        assert result.config_name == "w"
+        assert wait_s == pytest.approx(1.0)  # started at 102
+        assert wall_s == pytest.approx(1.0)  # finished at 103
+        assert wait_s >= 0.0 and wall_s >= 0.0

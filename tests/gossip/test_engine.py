@@ -367,6 +367,9 @@ class TestExecutorContract:
         ):
             np.testing.assert_array_equal(serial_vec, other_vec)
             assert serial_rng.random() == other_rng.random()
+        serial.close()
+        other.close()
+        sim.close()
 
     @pytest.mark.parametrize(
         "executor,kwargs",

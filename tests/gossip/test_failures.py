@@ -207,6 +207,7 @@ class TestMessageLatency:
             sim.run_round()
         received = sum(n.models_received for n in sim.nodes)
         assert received == sim.messages_sent - sim.messages_in_flight
+        sim.close()
 
     def test_latency_slows_mixing(self):
         """Stale models mix worse: with large delays the node models
@@ -230,6 +231,7 @@ class TestMessageLatency:
                     arr += rng.normal(0, 1.0, size=arr.shape)
             sim2.run(rounds=4)
             vecs = np.stack([state_to_vector(s) for s in sim2.states()])
+            sim2.close()
             return np.linalg.norm(vecs - vecs.mean(axis=0), axis=1).mean()
 
         assert spread(0) < spread(15)

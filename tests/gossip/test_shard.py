@@ -173,6 +173,7 @@ class TestShardedExecutor:
                 for vector, rng in sharded.train_batch(make_tasks(arena, 6))
             ]
         finally:
+            serial.close()
             sharded.close()
             arena.release()
         assert sharded.n_shards <= 6
@@ -287,6 +288,7 @@ class TestShardedExecutor:
                 layout, splits,
             )
             serial_results = serial.train_batch(make_tasks(arena, 6, copy=True))
+            serial.close()
             sharded_results = [
                 (vector.copy(), rng)
                 for vector, rng in sharded.train_batch(make_tasks(arena, 6))
@@ -319,6 +321,7 @@ class TestShardedExecutor:
                 layout, splits,
             )
             serial_results = serial.train_batch(make_tasks(arena, 6, copy=True))
+            serial.close()
             sharded_results = [
                 (vector.copy(), rng)
                 for vector, rng in sharded.train_batch(make_tasks(arena, 6))
@@ -393,6 +396,7 @@ class TestShardedFamilies:
         serial_results = serial.train_batch(
             make_tasks(arena, n_nodes, copy=True)
         )
+        serial.close()
         sharded = ShardedExecutor(
             builder, config, layout, splits, arena, n_shards=2
         )

@@ -220,7 +220,7 @@ class TestSharedArena:
     def test_finalizer_releases_on_garbage_collection(self):
         from multiprocessing import shared_memory
 
-        arena = SharedArena(2, 3)
+        arena = SharedArena(2, 3)  # reprolint: allow[lifecycle-unmanaged] -- exercises the weakref.finalize GC fallback on purpose
         name = arena.name
         del arena
         with pytest.raises(FileNotFoundError):

@@ -173,6 +173,32 @@ class TestMetricsMiddleware:
         assert counters["errors"][("GET", "/studies")] == 2
         assert counters["requests"][("GET", "/studies", 500)] == 1
 
+    def test_raised_exception_logs_structured_line_before_reraise(self, caplog):
+        """Regression: exceptions from the stages between metrics and
+        the error boundary used to propagate with no log line at all —
+        the boundary sits further in and never saw them."""
+        mw = MetricsMiddleware(clock=FakeClock())
+        ctx = RequestContext(request_id="req-000042")
+
+        def boom(ctx, request):
+            raise RuntimeError("limiter blew up")
+
+        with caplog.at_level(logging.ERROR, logger="repro.service.error"):
+            with pytest.raises(RuntimeError):
+                run(mw, req(method="POST", path="/studies"), boom, ctx=ctx)
+        assert len(caplog.records) == 1
+        line = json.loads(caplog.records[0].getMessage())
+        assert line == {
+            "event": "middleware_error",
+            "request_id": "req-000042",
+            "method": "POST",
+            "path": "/studies",
+            "status": 500,
+        }
+        assert "limiter blew up" in caplog.text  # traceback rides along
+        # The 500 is still counted — logging must not displace metrics.
+        assert mw.counters()["requests"][("POST", "/studies", 500)] == 1
+
     def test_render_is_prometheus_style(self):
         mw = MetricsMiddleware(clock=FakeClock())
         run(mw, req(path="/healthz"))

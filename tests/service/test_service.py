@@ -4,6 +4,7 @@ lifecycle, and fault injection (disconnects, cancels, rate limits)."""
 from __future__ import annotations
 
 import json
+import logging
 import multiprocessing
 import os
 import threading
@@ -320,3 +321,35 @@ class TestFaultInjection:
         assert multiprocessing.active_children() == []
         if before is not None:
             assert set(os.listdir(shm_dir)) - before == set()
+
+
+class TestTransportErrorPath:
+    def test_pipeline_crash_is_logged_and_answered_with_500(
+        self, service, make_client, caplog, monkeypatch
+    ):
+        """If the whole pipeline raises (not just a handler — the error
+        boundary covers those), the transport must answer a JSON 500
+        AND leave a structured log line; it used to swallow the
+        exception silently."""
+        client = make_client(service)
+
+        def broken_handle(request):
+            raise RuntimeError("pipeline down")
+
+        monkeypatch.setattr(service, "handle", broken_handle)
+        with caplog.at_level(logging.ERROR, logger="repro.service.error"):
+            status, _, body = client.get("/healthz")
+        assert status == 500
+        assert json.loads(body)["error"] == "internal error: RuntimeError"
+        lines = [
+            json.loads(r.getMessage())
+            for r in caplog.records
+            if r.name == "repro.service.error"
+        ]
+        assert {
+            "event": "transport_error",
+            "method": "GET",
+            "path": "/healthz",
+            "status": 500,
+        } in lines
+        assert "pipeline down" in caplog.text  # traceback rides along

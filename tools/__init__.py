@@ -1,0 +1,2 @@
+# Marks tools/ as a package so `python -m tools.reprolint` resolves
+# from the repo root without PYTHONPATH games.

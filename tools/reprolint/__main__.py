@@ -1,0 +1,7 @@
+"""Entry point: ``python -m tools.reprolint``."""
+
+import sys
+
+from tools.reprolint.driver import cli
+
+sys.exit(cli())

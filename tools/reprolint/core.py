@@ -1,0 +1,325 @@
+"""Shared infrastructure for the reprolint rule families.
+
+The model is two-pass:
+
+1. a :class:`Project` pass reads every target file once and collects
+   cross-module facts (today: the set of classes that define
+   ``close()``, including subclasses, for the lifecycle rules);
+2. a per-module pass parses each file and runs every rule whose scope
+   matches the module's path (:class:`ModuleContext`).
+
+Scopes are derived from repo-relative paths, so the fixture corpus
+under ``tests/analysis/fixtures/`` can mirror the real tree and
+exercise the scoping logic itself (the driver is pointed at the
+fixture directory as its root).
+
+Suppressions are inline comments on the flagged line::
+
+    time.time()  # reprolint: allow[det-wall-clock] -- cache TTLs want wall time
+
+A suppression must name the rule *and* carry a ``-- reason``; one
+without a reason is itself a finding (``bad-suppression``), so the
+"every suppression is justified" contract is mechanically enforced.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+from pathlib import PurePosixPath
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Project",
+    "Rule",
+    "all_rules",
+    "analyze_source",
+    "parse_suppressions",
+    "parent_map",
+    "DETERMINISTIC_PACKAGES",
+    "LOCK_PACKAGES",
+]
+
+# Packages whose fixed-seed results must be bit-identical across
+# executors: no wall clock, no ambient randomness, no set-order
+# dependence (ROADMAP "Recent", PRs 3-6).
+DETERMINISTIC_PACKAGES = (
+    "src/repro/gossip",
+    "src/repro/nn",
+    "src/repro/privacy",
+    "src/repro/core",
+    "src/repro/data",
+    "src/repro/graph",
+    "src/repro/metrics",
+)
+
+# Packages holding the service/telemetry concurrency layer whose lock
+# discipline PR 8's race sweep established.
+LOCK_PACKAGES = (
+    "src/repro/service",
+    "src/repro/telemetry",
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One ``file:line rule message`` diagnostic."""
+
+    path: str  # repo-relative, forward slashes
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line} {self.rule} {self.message}"
+
+    def baseline_key(self) -> str:
+        """Line-number-free identity used by the baseline file, so a
+        baselined finding survives unrelated edits above it."""
+        return f"{self.path}::{self.rule}::{self.message}"
+
+
+@dataclass
+class ModuleContext:
+    """What the rules need to know about one module."""
+
+    path: str  # repo-relative, forward slashes
+    tree: ast.Module
+    source: str
+    parents: dict[ast.AST, ast.AST]
+    project: "Project"
+
+    @property
+    def in_deterministic_package(self) -> bool:
+        return self.path.startswith(DETERMINISTIC_PACKAGES)
+
+    @property
+    def in_lock_package(self) -> bool:
+        return self.path.startswith(LOCK_PACKAGES)
+
+    @property
+    def in_source_tree(self) -> bool:
+        return self.path.startswith("src/")
+
+    def ancestors(self, node: ast.AST):
+        """Yield ``(ancestor, direct_child_on_the_path)`` pairs, nearest
+        first — enough to ask "which branch of that If am I in?"."""
+        child = node
+        parent = self.parents.get(child)
+        while parent is not None:
+            yield parent, child
+            child = parent
+            parent = self.parents.get(child)
+
+    def enclosing_function(self, node: ast.AST):
+        for ancestor, _ in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+
+class Rule:
+    """One named check. Subclasses set ``name``/``summary`` and
+    implement :meth:`check`, yielding :class:`Finding`\\ s."""
+
+    name = ""
+    summary = ""
+
+    def applies(self, ctx: ModuleContext) -> bool:  # pragma: no cover - trivial
+        return True
+
+    def check(self, ctx: ModuleContext):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def finding(self, ctx: ModuleContext, node: ast.AST, message: str) -> Finding:
+        return Finding(ctx.path, getattr(node, "lineno", 1), self.name, message)
+
+
+# -- project pass -------------------------------------------------------
+
+
+class Project:
+    """Cross-module facts gathered before any rule runs.
+
+    ``closeable_classes`` maps class name -> defining module for every
+    class (in ``src/``) that defines or inherits a ``close`` method;
+    the lifecycle rules treat instantiating one of these as taking on
+    a release obligation.
+    """
+
+    def __init__(self) -> None:
+        self.closeable_classes: dict[str, str] = {}
+        self._bases: dict[str, list[str]] = {}
+        self._defined_in: dict[str, str] = {}
+
+    def scan(self, path: str, tree: ast.Module) -> None:
+        if not path.startswith("src/"):
+            return
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            self._defined_in.setdefault(node.name, path)
+            self._bases[node.name] = [
+                base.id if isinstance(base, ast.Name) else getattr(base, "attr", "")
+                for base in node.bases
+            ]
+            for item in node.body:
+                if (
+                    isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and item.name == "close"
+                ):
+                    self.closeable_classes[node.name] = path
+
+    def finalize(self) -> None:
+        """Propagate closeability to subclasses (by base name, to a
+        fixpoint — the repo has no diamond deeper than a few levels)."""
+        changed = True
+        while changed:
+            changed = False
+            for name, bases in self._bases.items():
+                if name in self.closeable_classes:
+                    continue
+                if any(base in self.closeable_classes for base in bases):
+                    self.closeable_classes[name] = self._defined_in.get(name, "")
+                    changed = True
+
+
+# -- suppressions -------------------------------------------------------
+
+_ALLOW_RE = re.compile(
+    r"reprolint:\s*allow\[(?P<rules>[^\]]*)\]\s*(?:--\s*(?P<reason>\S.*))?"
+)
+
+
+@dataclass
+class Suppression:
+    line: int
+    rules: tuple[str, ...]
+    reason: str
+    used: bool = False
+
+
+def parse_suppressions(source: str, path: str):
+    """Extract ``# reprolint: allow[...] -- reason`` comments.
+
+    Returns ``(suppressions_by_line, findings)`` where findings are
+    ``bad-suppression`` diagnostics for malformed ones (no rule name,
+    or no reason).
+    """
+    by_line: dict[int, list[Suppression]] = {}
+    findings: list[Finding] = []
+    try:
+        tokens = tokenize.generate_tokens(StringIO(source).readline)
+        comments = [
+            (tok.start[0], tok.string)
+            for tok in tokens
+            if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        comments = []
+    for line, text in comments:
+        # Only a bracketed allow-directive counts — prose that merely
+        # mentions the tool (docs, comments, Makefile help) is ignored.
+        if re.search(r"reprolint:\s*allow\[", text) is None:
+            continue
+        match = _ALLOW_RE.search(text)
+        if match is None:
+            findings.append(
+                Finding(
+                    path,
+                    line,
+                    "bad-suppression",
+                    "unrecognized reprolint directive; use "
+                    "'# reprolint: allow[rule] -- reason'",
+                )
+            )
+            continue
+        rules = tuple(
+            part.strip() for part in match.group("rules").split(",") if part.strip()
+        )
+        reason = (match.group("reason") or "").strip()
+        if not rules or not reason:
+            findings.append(
+                Finding(
+                    path,
+                    line,
+                    "bad-suppression",
+                    "suppression must name a rule and a reason: "
+                    "'# reprolint: allow[rule] -- reason'",
+                )
+            )
+            continue
+        by_line.setdefault(line, []).append(Suppression(line, rules, reason))
+    return by_line, findings
+
+
+# -- per-module analysis ------------------------------------------------
+
+
+def parent_map(tree: ast.Module) -> dict[ast.AST, ast.AST]:
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, instantiated (import-cycle-free)."""
+    from tools.reprolint import determinism, lifecycle, locks, purity
+
+    rules: list[Rule] = []
+    for module in (determinism, locks, lifecycle, purity):
+        rules.extend(cls() for cls in module.RULES)
+    return rules
+
+
+def analyze_source(
+    source: str,
+    path: str,
+    project: Project | None = None,
+    rules: list[Rule] | None = None,
+) -> list[Finding]:
+    """Run every applicable rule over one module's source.
+
+    Suppressed findings are dropped here; malformed suppressions come
+    back as ``bad-suppression`` findings. A syntax error yields a
+    single ``parse-error`` finding instead of crashing the run.
+    """
+    path = str(PurePosixPath(path))
+    if project is None:
+        project = Project()
+        try:
+            project.scan(path, ast.parse(source))
+        except SyntaxError:
+            pass
+        project.finalize()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding(path, exc.lineno or 1, "parse-error", f"syntax error: {exc.msg}")
+        ]
+    ctx = ModuleContext(
+        path=path,
+        tree=tree,
+        source=source,
+        parents=parent_map(tree),
+        project=project,
+    )
+    suppressions, findings = parse_suppressions(source, path)
+    for rule in rules if rules is not None else all_rules():
+        if not rule.applies(ctx):
+            continue
+        for finding in rule.check(ctx):
+            for supp in suppressions.get(finding.line, []):
+                if finding.rule in supp.rules:
+                    supp.used = True
+                    break
+            else:
+                findings.append(finding)
+    return sorted(findings, key=lambda f: (f.line, f.rule, f.message))

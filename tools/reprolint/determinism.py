@@ -1,0 +1,371 @@
+"""Determinism rules (the ``det-*`` family).
+
+Scope: the deterministic packages (``gossip``, ``nn``, ``privacy``,
+``core``, ``data``, ``graph``, ``metrics``) — everything the
+executor-equivalence suites promise is bit-identical under a fixed
+seed. Ambient nondeterminism there is a bug by definition:
+
+* ``det-wall-clock`` — ``time.time()``/``time_ns``, ``datetime.now``/
+  ``utcnow``/``today``, ``date.today``, ``time.localtime``: results
+  must never depend on when the run happened.
+* ``det-perf-counter`` — ``perf_counter`` is timing-only and allowed,
+  but only under the telemetry-guard idiom (inside the live branch of
+  an ``x is [not] None`` check, the shape PR 9 instrumented the round
+  loop with), so the un-instrumented hot path provably takes no clock
+  readings.
+* ``det-random`` — the stdlib ``random`` module (global, seed-shared
+  state) and numpy's legacy global API (``np.random.rand`` etc.) are
+  banned; randomness flows through explicitly seeded
+  ``np.random.Generator`` objects.
+* ``det-unseeded-rng`` — ``np.random.default_rng()`` with no (or a
+  ``None``) seed pulls OS entropy; every generator must derive from
+  the study seed.
+* ``det-set-iter`` — iterating a ``set`` directly (for/comprehension)
+  feeds hash-order into whatever the loop drives; wrap it in
+  ``sorted(...)`` like the engine's neighbor loops do.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.reprolint.core import Finding, ModuleContext, Rule
+
+__all__ = ["RULES"]
+
+
+def _import_table(tree: ast.Module) -> tuple[dict[str, str], dict[str, tuple[str, str]]]:
+    """Map local names to modules: ``modules[alias] = module`` for
+    ``import m [as alias]``; ``members[alias] = (module, name)`` for
+    ``from m import name [as alias]``."""
+    modules: dict[str, str] = {}
+    members: dict[str, tuple[str, str]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                modules[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                members[alias.asname or alias.name] = (node.module, alias.name)
+    return modules, members
+
+
+def _resolve_call(
+    func: ast.expr,
+    modules: dict[str, str],
+    members: dict[str, tuple[str, str]],
+) -> str | None:
+    """Dotted origin of a called name, e.g. ``time.time`` whether it
+    was reached via ``import time`` or ``from time import time``."""
+    if isinstance(func, ast.Name):
+        if func.id in members:
+            module, name = members[func.id]
+            return f"{module}.{name}"
+        return None
+    parts: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.reverse()
+    root = node.id
+    if root in modules:
+        return ".".join([modules[root]] + parts)
+    if root in members:
+        module, name = members[root]
+        return ".".join([f"{module}.{name}"] + parts)
+    return None
+
+
+_WALL_CLOCK = {
+    "time.time": "time.time() is wall-clock",
+    "time.time_ns": "time.time_ns() is wall-clock",
+    "time.localtime": "time.localtime() is wall-clock",
+    "time.ctime": "time.ctime() is wall-clock",
+    "time.gmtime": "time.gmtime() is wall-clock",
+    "time.monotonic": "time.monotonic() reads a clock",
+    "time.monotonic_ns": "time.monotonic_ns() reads a clock",
+    "datetime.datetime.now": "datetime.now() is wall-clock",
+    "datetime.datetime.utcnow": "datetime.utcnow() is wall-clock",
+    "datetime.datetime.today": "datetime.today() is wall-clock",
+    "datetime.date.today": "date.today() is wall-clock",
+}
+
+_PERF_COUNTER = {"time.perf_counter", "time.perf_counter_ns"}
+
+
+def _is_none_test(test: ast.expr) -> tuple[bool, bool]:
+    """(is_a_none_test, is_not_variant) for ``x is [not] None``."""
+    if (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], (ast.Is, ast.IsNot))
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+    ):
+        return True, isinstance(test.ops[0], ast.IsNot)
+    return False, False
+
+
+def _none_guard_allows(ctx: ModuleContext, node: ast.AST) -> bool:
+    """True when ``node`` sits in the live branch of an
+    ``x is [not] None`` conditional — the telemetry-guard idiom.
+
+    Both guard spellings count: the lexical branch (``if tel is not
+    None: ...timing...``, or the ``else`` of an ``is None`` test) and
+    the early-return shape (``if tel is None: <handle>; return`` above
+    the timing code in the same suite).
+    """
+    for ancestor, child in ctx.ancestors(node):
+        if isinstance(ancestor, (ast.If, ast.IfExp)):
+            is_guard, is_not = _is_none_test(ancestor.test)
+            if not is_guard:
+                continue
+            if isinstance(ancestor, ast.If):
+                in_body = any(child is stmt for stmt in ancestor.body)
+                in_orelse = any(child is stmt for stmt in ancestor.orelse)
+            else:
+                in_body = child is ancestor.body
+                in_orelse = child is ancestor.orelse
+            if in_body if is_not else in_orelse:
+                return True
+        # Early-return guard: a preceding `if x is None: ...; return`
+        # (or raise/continue) in the same statement suite dominates
+        # everything after it.
+        body = getattr(ancestor, "body", None)
+        if isinstance(body, list) and child in body:
+            for stmt in body[: body.index(child)]:
+                if not isinstance(stmt, ast.If) or stmt.orelse:
+                    continue
+                is_guard, is_not = _is_none_test(stmt.test)
+                if (
+                    is_guard
+                    and not is_not
+                    and stmt.body
+                    and isinstance(
+                        stmt.body[-1], (ast.Return, ast.Raise, ast.Continue)
+                    )
+                ):
+                    return True
+    return False
+
+
+class WallClockRule(Rule):
+    name = "det-wall-clock"
+    summary = (
+        "no wall-clock reads (time.time, datetime.now, ...) in the "
+        "deterministic packages"
+    )
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return ctx.in_deterministic_package
+
+    def check(self, ctx: ModuleContext):
+        modules, members = _import_table(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = _resolve_call(node.func, modules, members)
+            if origin is None:
+                continue
+            if origin in _WALL_CLOCK:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{_WALL_CLOCK[origin]}; deterministic code must not "
+                    "read clocks (use the study seed / round counter)",
+                )
+
+
+class PerfCounterRule(Rule):
+    name = "det-perf-counter"
+    summary = (
+        "perf_counter only under the telemetry-guard idiom "
+        "(`x is not None` branch)"
+    )
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return ctx.in_deterministic_package
+
+    def check(self, ctx: ModuleContext):
+        modules, members = _import_table(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = _resolve_call(node.func, modules, members)
+            if origin in _PERF_COUNTER and not _none_guard_allows(ctx, node):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "perf_counter outside a telemetry guard; time only "
+                    "inside the live branch of an `x is not None` check "
+                    "so the un-instrumented path reads no clocks",
+                )
+
+
+_NP_RANDOM_OK = {
+    # Explicitly-seeded constructors and types, not ambient state.
+    "Generator",
+    "default_rng",  # separately checked for a seed argument
+    "SeedSequence",
+    "BitGenerator",
+    "Philox",
+    "PCG64",
+    "PCG64DXSM",
+    "MT19937",
+    "SFC64",
+    "RandomState",  # constructor takes a seed; bare module calls are the trap
+}
+
+
+class RandomRule(Rule):
+    name = "det-random"
+    summary = (
+        "no stdlib `random` or numpy legacy global RNG in the "
+        "deterministic packages"
+    )
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return ctx.in_deterministic_package
+
+    def check(self, ctx: ModuleContext):
+        modules, members = _import_table(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = _resolve_call(node.func, modules, members)
+            if origin is None:
+                continue
+            parts = origin.split(".")
+            if parts[0] == "random":
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"stdlib random ({origin}) shares hidden global state; "
+                    "use an explicitly seeded np.random.Generator",
+                )
+            elif (
+                len(parts) == 3
+                and parts[0] == "numpy"
+                and parts[1] == "random"
+                and parts[2] not in _NP_RANDOM_OK
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"numpy legacy global RNG (np.random.{parts[2]}) is "
+                    "process-global state; draw from a seeded Generator",
+                )
+
+
+class UnseededRngRule(Rule):
+    name = "det-unseeded-rng"
+    summary = "np.random.default_rng() must be seeded"
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return ctx.in_deterministic_package
+
+    def check(self, ctx: ModuleContext):
+        modules, members = _import_table(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = _resolve_call(node.func, modules, members)
+            if origin != "numpy.random.default_rng":
+                continue
+            unseeded = not node.args and not node.keywords
+            if node.args and (
+                isinstance(node.args[0], ast.Constant)
+                and node.args[0].value is None
+            ):
+                unseeded = True
+            if unseeded:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "default_rng() without a seed pulls OS entropy; derive "
+                    "every generator from the study seed",
+                )
+
+
+def _is_set_expr(node: ast.expr, assigned: dict[str, ast.expr]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    ):
+        return True
+    if isinstance(node, ast.Name) and node.id in assigned:
+        return _is_set_expr(assigned[node.id], {})
+    return False
+
+
+class SetIterationRule(Rule):
+    name = "det-set-iter"
+    summary = "no direct iteration over sets (hash order); sort first"
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return ctx.in_deterministic_package
+
+    def check(self, ctx: ModuleContext):
+        # Per-function map of names assigned a set-valued expression.
+        assigned: dict[str, ast.expr] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and _is_set_expr(node.value, {}):
+                    assigned[target.id] = node.value
+        iter_sites: list[tuple[ast.AST, ast.expr]] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iter_sites.append((node, node.iter))
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+                for gen in node.generators:
+                    iter_sites.append((node, gen.iter))
+        for node, iterable in iter_sites:
+            # Membership tests like `if x in {...}` are order-free and
+            # not reported; only the loop iterable position is.
+            if _is_set_expr(iterable, assigned):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "iterating a set feeds hash order into the loop; wrap "
+                    "it in sorted(...) so downstream RNG draws see a "
+                    "stable order",
+                )
+
+
+class EnvRandomizationRule(Rule):
+    name = "det-hash-seed"
+    summary = "no os.environ-dependent hashing/order tricks"
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return ctx.in_deterministic_package
+
+    def check(self, ctx: ModuleContext):
+        modules, members = _import_table(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = _resolve_call(node.func, modules, members)
+            if origin == "uuid.uuid4":
+                yield self.finding(
+                    ctx,
+                    node,
+                    "uuid4() is OS entropy; derive ids from the study "
+                    "seed or a counter",
+                )
+
+
+RULES = [
+    WallClockRule,
+    PerfCounterRule,
+    RandomRule,
+    UnseededRngRule,
+    SetIterationRule,
+    EnvRandomizationRule,
+]

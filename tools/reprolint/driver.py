@@ -1,0 +1,230 @@
+"""Command-line driver: ``python -m tools.reprolint [paths...]``.
+
+* discovers ``*.py`` under the given paths (default: ``src tests
+  benchmarks examples tools``), skipping ``__pycache__`` and the
+  analyzer's own fixture corpus (which violates rules on purpose);
+* runs the project pass, then every rule over every module;
+* subtracts the checked-in baseline (``tools/reprolint/baseline.json``,
+  line-number-free keys so unrelated edits don't churn it) and prints
+  the rest as ``file:line rule message``.
+
+Exit codes: 0 clean, 1 findings, 2 usage / internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import os
+import sys
+from pathlib import Path
+
+from tools.reprolint.core import Finding, Project, all_rules, analyze_source
+
+__all__ = ["main", "run", "discover_files", "load_baseline"]
+
+DEFAULT_TARGETS = ("src", "tests", "benchmarks", "examples", "tools")
+DEFAULT_BASELINE = "tools/reprolint/baseline.json"
+# The fixture corpus exists to violate the rules; the real run must
+# not read it (the analyzer's own tests point a root at it instead).
+DEFAULT_EXCLUDES = ("tests/analysis/fixtures",)
+
+
+def discover_files(root: Path, targets, excludes) -> list[Path]:
+    files: list[Path] = []
+    for target in targets:
+        path = (root / target).resolve()
+        if path.is_file() and path.suffix == ".py":
+            files.append(path)
+            continue
+        if not path.is_dir():
+            raise FileNotFoundError(f"no such target: {target}")
+        files.extend(sorted(path.rglob("*.py")))
+    out = []
+    for path in files:
+        rel = path.relative_to(root).as_posix()
+        if "__pycache__" in rel:
+            continue
+        if any(rel.startswith(exc) for exc in excludes):
+            continue
+        out.append(path)
+    return out
+
+
+def load_baseline(path: Path) -> dict[str, int]:
+    """Baseline = mapping of finding key -> allowed count."""
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text())
+    if isinstance(data, list):
+        counts: dict[str, int] = {}
+        for key in data:
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+    raise ValueError(
+        f"baseline {path} must be a JSON list of 'path::rule::message' keys"
+    )
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    keys = sorted(finding.baseline_key() for finding in findings)
+    path.write_text(json.dumps(keys, indent=2) + "\n")
+
+
+def run(
+    root: Path,
+    targets,
+    baseline_path: Path | None,
+    select: set[str] | None = None,
+    excludes=DEFAULT_EXCLUDES,
+    out=None,
+    write_baseline_to: Path | None = None,
+) -> int:
+    # Resolved at call time, not def time, so test harnesses that swap
+    # sys.stdout (pytest capsys) see the output.
+    out = out if out is not None else sys.stdout
+    root = root.resolve()
+    files = discover_files(root, targets, excludes)
+    rules = all_rules()
+    if select:
+        known = {rule.name for rule in rules}
+        unknown = select - known
+        if unknown:
+            print(f"unknown rule(s): {', '.join(sorted(unknown))}", file=sys.stderr)
+            return 2
+        rules = [rule for rule in rules if rule.name in select]
+
+    project = Project()
+    sources: dict[Path, str] = {}
+    for path in files:
+        text = path.read_text(encoding="utf-8")
+        sources[path] = text
+        try:
+            project.scan(path.relative_to(root).as_posix(), ast.parse(text))
+        except SyntaxError:
+            pass  # surfaces as a parse-error finding below
+    project.finalize()
+
+    findings: list[Finding] = []
+    for path in files:
+        rel = path.relative_to(root).as_posix()
+        findings.extend(analyze_source(sources[path], rel, project, rules))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+
+    if write_baseline_to is not None:
+        write_baseline(write_baseline_to, findings)
+        print(
+            f"wrote {len(findings)} finding(s) to baseline {write_baseline_to}",
+            file=out,
+        )
+        return 0
+
+    remaining: list[Finding] = []
+    budget = dict(load_baseline(baseline_path)) if baseline_path else {}
+    for finding in findings:
+        key = finding.baseline_key()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            continue
+        remaining.append(finding)
+
+    for finding in remaining:
+        print(finding.render(), file=out)
+    if remaining:
+        print(
+            f"reprolint: {len(remaining)} finding(s) in {len(files)} file(s)",
+            file=out,
+        )
+        return 1
+    print(f"reprolint: clean ({len(files)} files)", file=out)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="AST-based invariant checker for this repo "
+        "(determinism, lock discipline, lifecycle, purity).",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        default=list(DEFAULT_TARGETS),
+        help="files or directories to check (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repo root that scoping paths are relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help="baseline file of accepted findings (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write all current findings to the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        default="",
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--exclude",
+        action="append",
+        default=list(DEFAULT_EXCLUDES),
+        help="path prefix to skip (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.name:24} {rule.summary}")
+        return 0
+
+    root = Path(args.root)
+    baseline = None if args.no_baseline else root / args.baseline
+    select = {part.strip() for part in args.select.split(",") if part.strip()}
+    try:
+        return run(
+            root,
+            args.targets,
+            baseline,
+            select=select or None,
+            excludes=tuple(args.exclude),
+            write_baseline_to=(root / args.baseline) if args.write_baseline else None,
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"reprolint: error: {exc}", file=sys.stderr)
+        return 2
+
+
+def cli() -> int:  # pragma: no cover
+    """``python -m tools.reprolint`` entry point.
+
+    A downstream ``| head`` closing stdout early must not crash the
+    checker with a BrokenPipeError traceback.
+    """
+    try:
+        return main()
+    except BrokenPipeError:
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(cli())

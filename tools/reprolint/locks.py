@@ -1,0 +1,268 @@
+"""Lock-discipline rules (the ``lock-*`` family).
+
+Scope: ``src/repro/service`` + ``src/repro/telemetry`` — the
+thread-concurrent layer whose four races PR 8 fixed by hand. The rules
+are the static encoding of that sweep:
+
+* ``lock-order-cycle`` — a per-project lock-acquisition graph is built
+  from lexically nested ``with <lock>:`` blocks (locks are identified
+  as ``Class.attr`` for ``self._lock``-style attributes, ``*.attr``
+  for locks reached through another object). A cycle in that graph is
+  a deadlock waiting for the right interleaving.
+* ``lock-blocking-call`` — blocking work (file I/O, journal writes,
+  ``subprocess``/executor calls, sleeps, joins, user callbacks)
+  performed while holding a lock serializes every other thread behind
+  a syscall. ``Condition.wait``/``wait_for``/``notify`` are exempt —
+  they are *why* the lock is held.
+
+A ``with`` context expression counts as a lock when its attribute name
+looks like one: ``lock``, ``cond``, ``cv``, ``mutex`` or any name
+containing ``lock``/``cond`` (the repo's conventions: ``_lock``,
+``_cond``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.reprolint.core import ModuleContext, Rule
+
+__all__ = ["RULES"]
+
+_LOCKISH = ("lock", "cond", "mutex", "_cv")
+
+
+def _lock_attr_name(expr: ast.expr) -> str | None:
+    """The attribute name if ``expr`` looks like a lock, else None."""
+    if isinstance(expr, ast.Attribute):
+        attr = expr.attr.lower()
+        if any(part in attr for part in _LOCKISH) or attr == "cv":
+            return expr.attr
+    if isinstance(expr, ast.Name):
+        name = expr.id.lower()
+        if any(part in name for part in _LOCKISH) or name == "cv":
+            return expr.id
+    return None
+
+
+def _lock_label(expr: ast.expr, class_name: str) -> str | None:
+    """Stable identity for a lock expression.
+
+    ``self.X`` -> ``Class.X`` (instances of one class share a
+    discipline); anything else -> ``*.X`` (attribute name only — we
+    cannot know the owner's class statically, so all non-self locks
+    with one attribute name collapse into a single node, which errs
+    toward reporting)."""
+    attr = _lock_attr_name(expr)
+    if attr is None:
+        return None
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return f"{class_name}.{attr}"
+    return f"*.{attr}"
+
+
+# Call shapes that block (or run arbitrary user code) and therefore
+# must not happen while holding a lock.
+_BLOCKING_FUNCS = {"open", "print", "input"}
+_BLOCKING_MODULES = ("subprocess", "shutil", "socket", "requests", "urllib")
+_BLOCKING_DOTTED = {
+    "os.replace",
+    "os.rename",
+    "os.fsync",
+    "os.remove",
+    "os.unlink",
+    "os.makedirs",
+    "time.sleep",
+    "json.dump",
+}
+_BLOCKING_METHODS = {
+    # file/path I/O
+    "write_text",
+    "read_text",
+    "write_bytes",
+    "read_bytes",
+    "mkdir",
+    "rmdir",
+    "touch",
+    "fsync",
+    # pools / threads / queues
+    "submit",
+    "shutdown",
+    "join",
+    "result",
+    "terminate",
+    # journal / persistence layer (PR 8: journal outside the locks)
+    "record",
+    "compact",
+    "checkpoint",
+}
+# Held-lock methods that *release* while blocking, or are the point of
+# holding the lock at all.
+_CONDITION_METHODS = {"wait", "wait_for", "notify", "notify_all", "acquire", "release"}
+
+
+def _dotted(expr: ast.expr) -> str | None:
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return ".".join(parts)
+    return None
+
+
+def _blocking_reason(call: ast.Call) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id in _BLOCKING_FUNCS:
+            return f"{func.id}() blocks on I/O"
+        return None
+    if isinstance(func, ast.Attribute):
+        if func.attr in _CONDITION_METHODS:
+            return None
+        dotted = _dotted(func)
+        if dotted is not None:
+            root = dotted.split(".")[0]
+            if root in _BLOCKING_MODULES:
+                return f"{dotted}() blocks on I/O"
+            if dotted in _BLOCKING_DOTTED:
+                return f"{dotted}() blocks on I/O"
+        if func.attr in _BLOCKING_METHODS:
+            return f".{func.attr}() blocks (I/O, pool or journal work)"
+        if func.attr.startswith("on_") or func.attr.startswith("_on_"):
+            return f".{func.attr}() runs a user callback"
+    return None
+
+
+class _ClassLockVisitor(ast.NodeVisitor):
+    """Collect, for one class, lock-nesting edges and blocking calls
+    under held locks. ``with`` statements are walked with an explicit
+    held-lock stack, so only *lexical* nesting counts."""
+
+    def __init__(self, class_name: str):
+        self.class_name = class_name
+        # (outer_label, inner_label, node-of-inner-with)
+        self.edges: list[tuple[str, str, ast.With]] = []
+        # (lock_label, call node, reason)
+        self.blocking: list[tuple[str, ast.Call, str]] = []
+        self._held: list[str] = []
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        # Nested classes get their own visitor from the rule driver.
+        if node.name == self.class_name:
+            self.generic_visit(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        labels = []
+        for item in node.items:
+            label = _lock_label(item.context_expr, self.class_name)
+            if label is not None:
+                labels.append(label)
+        for label in labels:
+            if self._held and self._held[-1] != label:
+                self.edges.append((self._held[-1], label, node))
+        self._held.extend(labels)
+        self.generic_visit(node)
+        for _ in labels:
+            self._held.pop()
+
+    visit_AsyncWith = visit_With  # type: ignore[assignment]
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._held:
+            reason = _blocking_reason(node)
+            if reason is not None:
+                self.blocking.append((self._held[-1], node, reason))
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # A nested function body does not run under the enclosing
+        # lock at definition time (it may run later, unlocked).
+        held, self._held = self._held, []
+        self.generic_visit(node)
+        self._held = held
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        held, self._held = self._held, []
+        self.generic_visit(node)
+        self._held = held
+
+
+def _class_visitors(ctx: ModuleContext):
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ClassDef):
+            visitor = _ClassLockVisitor(node.name)
+            visitor.generic_visit(node)
+            yield node, visitor
+
+
+class LockOrderRule(Rule):
+    name = "lock-order-cycle"
+    summary = "no cycles in the lock-acquisition order graph"
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return ctx.in_lock_package
+
+    def check(self, ctx: ModuleContext):
+        edges: dict[str, set[str]] = {}
+        sites: dict[tuple[str, str], ast.With] = {}
+        for _, visitor in _class_visitors(ctx):
+            for outer, inner, node in visitor.edges:
+                edges.setdefault(outer, set()).add(inner)
+                sites.setdefault((outer, inner), node)
+
+        def reachable(src: str, dst: str, seen: set[str]) -> bool:
+            if src == dst:
+                return True
+            seen.add(src)
+            return any(
+                reachable(nxt, dst, seen)
+                for nxt in edges.get(src, ())
+                if nxt not in seen
+            )
+
+        reported: set[tuple[str, str]] = set()
+        for (outer, inner), node in sorted(
+            sites.items(), key=lambda kv: kv[1].lineno
+        ):
+            if (inner, outer) in reported:
+                continue
+            if reachable(inner, outer, set()):
+                reported.add((outer, inner))
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"acquiring {inner} while holding {outer} closes an "
+                    f"ordering cycle ({inner} -> ... -> {outer} exists "
+                    "elsewhere); pick one global order",
+                )
+
+
+class BlockingUnderLockRule(Rule):
+    name = "lock-blocking-call"
+    summary = "no blocking work (I/O, journal, pools, callbacks) under a lock"
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return ctx.in_lock_package
+
+    def check(self, ctx: ModuleContext):
+        for _, visitor in _class_visitors(ctx):
+            for label, node, reason in visitor.blocking:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{reason} while holding {label}; move it outside "
+                    "the critical section (PR 8 race-sweep discipline)",
+                )
+
+
+RULES = [LockOrderRule, BlockingUnderLockRule]
